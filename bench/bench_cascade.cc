@@ -1,0 +1,51 @@
+// E16 — fractional cascading ablation: the paper's Section 5.2 claim
+// that cascading drops the 2D stabbing-max query from O(log^2 n) (a
+// predecessor search at every x-path node) to O(log n) (one search at
+// the root, O(1) per node after).
+
+#include <cstddef>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "enclosure/enclosure_max_fc.h"
+#include "enclosure/enclosure_structures.h"
+#include "enclosure/rect.h"
+
+namespace topk {
+namespace {
+
+using enclosure::EnclosureMax;
+using enclosure::EnclosureMaxCascading;
+using enclosure::Point2;
+
+Point2 Q(Rng* rng) { return {rng->NextDouble(), rng->NextDouble()}; }
+
+void RegisterAll() {
+  for (size_t n : {size_t{1} << 10, size_t{1} << 12, size_t{1} << 14}) {
+    bench::RegisterLazy<EnclosureMax>(
+        "PlainLog2/" + std::to_string(n), n,
+        [](size_t m) { return EnclosureMax(bench::Rects(m, 5)); },
+        [](const auto& s, Rng* rng) {
+          benchmark::DoNotOptimize(s.QueryMax(Q(rng)));
+        });
+    bench::RegisterLazy<EnclosureMaxCascading>(
+        "CascadedLog/" + std::to_string(n), n,
+        [](size_t m) { return EnclosureMaxCascading(bench::Rects(m, 5)); },
+        [](const auto& s, Rng* rng) {
+          benchmark::DoNotOptimize(s.QueryMax(Q(rng)));
+        });
+  }
+}
+
+}  // namespace
+}  // namespace topk
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  topk::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Shared benchmark helpers: deterministic workload generators and
+// build-once caches (structure construction is expensive and must stay
+// out of the timed region).
+
+#ifndef TOPK_BENCH_BENCH_COMMON_H_
+#define TOPK_BENCH_BENCH_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "circle/circular.h"
+#include "common/random.h"
+#include "dominance/point3.h"
+#include "enclosure/rect.h"
+#include "halfspace/point2.h"
+#include "interval/interval.h"
+#include "range1d/point1d.h"
+
+namespace topk::bench {
+
+inline std::vector<range1d::Point1D> Points1D(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<range1d::Point1D> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = {rng.NextDouble(), rng.NextDouble() * 1e6, i + 1};
+  }
+  return out;
+}
+
+inline std::vector<interval::Interval> Intervals(size_t n, uint64_t seed,
+                                                 double span = 0.05) {
+  Rng rng(seed);
+  std::vector<interval::Interval> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double a = rng.NextDouble();
+    out[i] = {a, a + rng.NextDouble() * span, rng.NextDouble() * 1e6, i + 1};
+  }
+  return out;
+}
+
+inline std::vector<enclosure::Rect> Rects(size_t n, uint64_t seed,
+                                          double span = 0.1) {
+  Rng rng(seed);
+  std::vector<enclosure::Rect> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.NextDouble(), y = rng.NextDouble();
+    out[i] = {x, x + rng.NextDouble() * span, y, y + rng.NextDouble() * span,
+              rng.NextDouble() * 1e6, i + 1};
+  }
+  return out;
+}
+
+inline std::vector<dominance::Point3> Points3D(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<dominance::Point3> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble(),
+              rng.NextDouble() * 1e6, i + 1};
+  }
+  return out;
+}
+
+inline std::vector<halfspace::Point2W> PointsHs(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<halfspace::Point2W> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = {rng.NextDouble() * 2 - 1, rng.NextDouble() * 2 - 1,
+              rng.NextDouble() * 1e6, i + 1};
+  }
+  return out;
+}
+
+inline std::vector<circle::WPoint2> Points2D(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<circle::WPoint2> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble() * 1e6,
+              i + 1};
+  }
+  return out;
+}
+
+
+// Registers one google-benchmark entry that lazily builds structure S
+// from `build(n)` on first use (construction stays outside the timed
+// loop) and times `run(s, rng)` per iteration.
+template <typename S, typename Build, typename Run>
+void RegisterLazy(const std::string& name, size_t n, Build build, Run run) {
+  auto holder = std::make_shared<std::unique_ptr<S>>();
+  benchmark::RegisterBenchmark(
+      name.c_str(), [holder, n, build, run](benchmark::State& state) {
+        if (!*holder) *holder = std::make_unique<S>(build(n));
+        Rng rng(0xbe7c);
+        for (auto _ : state) {
+          run(**holder, &rng);
+        }
+        state.counters["n"] = static_cast<double>(n);
+      });
+}
+
+// Build-once cache: structures keyed by (n, seed). Benchmarks pull the
+// same instance across timing iterations.
+template <typename S>
+const S& Cached(size_t n, uint64_t seed, auto&& build) {
+  static std::map<std::pair<size_t, uint64_t>, std::unique_ptr<S>> cache;
+  auto key = std::make_pair(n, seed);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::make_unique<S>(build(n, seed))).first;
+  }
+  return *it->second;
+}
+
+}  // namespace topk::bench
+
+#endif  // TOPK_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,90 @@
+// E18 — the price of generality: the problem-specific heap-selection
+// top-k (lazy heap selection over the PST, O(log n + k log(k + log n)),
+// no randomness) versus the paper's two general reductions and the [28]
+// baseline, on 1D range reporting.
+//
+// Expected shape: the direct structure wins outright (it exploits the
+// heap order the reductions treat as a black box); Theorem 2 is the
+// closest general structure; the gap quantifies what the black-box
+// abstraction costs on this problem.
+
+#include <cstddef>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "core/binary_search_topk.h"
+#include "core/core_set_topk.h"
+#include "core/sampled_topk.h"
+#include "range1d/direct_topk.h"
+#include "range1d/point1d.h"
+#include "range1d/pst.h"
+#include "range1d/range_max.h"
+
+namespace topk {
+namespace {
+
+using range1d::HeapSelectTopK;
+using range1d::PrioritySearchTree;
+using range1d::Range1D;
+using range1d::Range1DProblem;
+using range1d::RangeMax;
+
+constexpr size_t kK = 16;
+
+Range1D Q(Rng* rng) {
+  double a = rng->NextDouble(), b = rng->NextDouble();
+  if (a > b) std::swap(a, b);
+  return {a, b};
+}
+
+void RegisterAll() {
+  for (size_t n : {size_t{1} << 14, size_t{1} << 17, size_t{1} << 20}) {
+    bench::RegisterLazy<HeapSelectTopK>(
+        "Direct_HeapSelect/" + std::to_string(n), n,
+        [](size_t m) { return HeapSelectTopK(bench::Points1D(m, 5)); },
+        [](const auto& s, Rng* rng) {
+          benchmark::DoNotOptimize(s.Query(Q(rng), kK));
+        });
+    bench::RegisterLazy<
+        SampledTopK<Range1DProblem, PrioritySearchTree, RangeMax>>(
+        "Thm2/" + std::to_string(n), n,
+        [](size_t m) {
+          return SampledTopK<Range1DProblem, PrioritySearchTree, RangeMax>(
+              bench::Points1D(m, 5));
+        },
+        [](const auto& s, Rng* rng) {
+          benchmark::DoNotOptimize(s.Query(Q(rng), kK));
+        });
+    bench::RegisterLazy<CoreSetTopK<Range1DProblem, PrioritySearchTree>>(
+        "Thm1/" + std::to_string(n), n,
+        [](size_t m) {
+          return CoreSetTopK<Range1DProblem, PrioritySearchTree>(
+              bench::Points1D(m, 5));
+        },
+        [](const auto& s, Rng* rng) {
+          benchmark::DoNotOptimize(s.Query(Q(rng), kK));
+        });
+    bench::RegisterLazy<BinarySearchTopK<Range1DProblem, PrioritySearchTree>>(
+        "Baseline28/" + std::to_string(n), n,
+        [](size_t m) {
+          return BinarySearchTopK<Range1DProblem, PrioritySearchTree>(
+              bench::Points1D(m, 5));
+        },
+        [](const auto& s, Rng* rng) {
+          benchmark::DoNotOptimize(s.Query(Q(rng), kK));
+        });
+  }
+}
+
+}  // namespace
+}  // namespace topk
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  topk::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Problem definition: circular range reporting (Corollary 1).
+//
+// D is a set of weighted points in R^2; a predicate is a disk
+// (center, radius), matched by every point within Euclidean distance r.
+//
+// The paper derives its circular bounds from halfspace reporting one
+// dimension up via the standard lifting trick (map (x, y) onto the
+// paraboloid (x, y, x^2 + y^2); a disk becomes a halfspace). Our
+// substrate — the weight-augmented kd-tree — handles the disk predicate
+// *directly* through its box tests, which is exactly the lifted
+// halfspace restricted back to the paraboloid; the lifting identity is
+// unit-tested in circle_test.cc.
+//
+// Polynomial boundedness: a circle through <= 3 input points bounds each
+// distinct outcome — O(n^3) outcomes, lambda = 3.
+
+#ifndef TOPK_CIRCLE_CIRCULAR_H_
+#define TOPK_CIRCLE_CIRCULAR_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "dominance/kdtree.h"
+
+namespace topk::circle {
+
+struct WPoint2 {
+  double x = 0, y = 0;
+  double weight = 0;
+  uint64_t id = 0;
+};
+
+struct Disk {
+  double cx = 0, cy = 0;
+  double r = 0;
+};
+
+struct CircularProblem {
+  using Element = WPoint2;
+  using Predicate = Disk;
+  static constexpr double kLambda = 3.0;
+
+  static bool Matches(const Disk& q, const WPoint2& e) {
+    const double dx = e.x - q.cx, dy = e.y - q.cy;
+    return dx * dx + dy * dy <= q.r * q.r;
+  }
+};
+
+struct CircularGeo {
+  static constexpr int kDims = 2;
+  static double Coord(const WPoint2& e, int dim) {
+    return dim == 0 ? e.x : e.y;
+  }
+  static bool IntersectsBox(const Disk& q, const double* lo,
+                            const double* hi) {
+    // Squared distance from the center to the box.
+    double d2 = 0;
+    const double c[2] = {q.cx, q.cy};
+    for (int d = 0; d < 2; ++d) {
+      if (c[d] < lo[d]) {
+        const double g = lo[d] - c[d];
+        d2 += g * g;
+      } else if (c[d] > hi[d]) {
+        const double g = c[d] - hi[d];
+        d2 += g * g;
+      }
+    }
+    return d2 <= q.r * q.r;
+  }
+  static bool ContainsBox(const Disk& q, const double* lo,
+                          const double* hi) {
+    // The farthest box corner must be inside the disk.
+    double d2 = 0;
+    const double c[2] = {q.cx, q.cy};
+    for (int d = 0; d < 2; ++d) {
+      const double g = std::max(hi[d] - c[d], c[d] - lo[d]);
+      d2 += g * g;
+    }
+    return d2 <= q.r * q.r;
+  }
+};
+
+using CircularKdTree = dominance::KdTree<CircularProblem, CircularGeo>;
+
+// The lifting trick (de Berg et al. [17], used by Corollary 1): a point
+// p = (x, y) lies in the disk of center (a, b) and radius r iff its lift
+// (x, y, x^2 + y^2) lies below the plane
+//   z = 2a*x + 2b*y + (r^2 - a^2 - b^2).
+// Exposed for tests and the documentation example.
+inline double LiftZ(double x, double y) { return x * x + y * y; }
+inline bool LiftedHalfspaceContains(const Disk& q, double x, double y) {
+  const double z = LiftZ(x, y);
+  return z - 2 * q.cx * x - 2 * q.cy * y <=
+         q.r * q.r - q.cx * q.cx - q.cy * q.cy;
+}
+
+}  // namespace topk::circle
+
+#endif  // TOPK_CIRCLE_CIRCULAR_H_

@@ -1,0 +1,162 @@
+// Fractional cascading (Chazelle & Guibas [14]) over a binary tree of
+// sorted catalogs.
+//
+// The paper invokes fractional cascading twice (Sections 5.2 and 5.4)
+// to turn "a predecessor search at every node of a root-to-leaf path"
+// from O(log^2 n) into O(log n): after one binary search in the root's
+// *augmented* catalog, each step down the path locates the query in the
+// child's catalog in O(1) via precomputed bridges.
+//
+// Construction (bottom-up): the augmented catalog A_v merges the native
+// catalog C_v with every second element of each child's augmented
+// catalog, so sum |A_v| <= 2 * sum |C_v|. Each augmented position p
+// stores (i) the native lower-bound index at p and (ii) per child, a
+// bridge to the first child-augmented element >= A_v[p]; a query
+// descends by following the bridge and walking back at most a constant
+// number of slots.
+
+#ifndef TOPK_COMMON_CASCADE_H_
+#define TOPK_COMMON_CASCADE_H_
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace topk {
+
+class FractionalCascading {
+ public:
+  struct Cursor {
+    int32_t node = -1;
+    // Index in A_node of the first element >= y (the augmented
+    // lower-bound position).
+    uint32_t aug_pos = 0;
+  };
+
+  FractionalCascading() = default;
+
+  // catalogs[v]: the native sorted list of node v; children[v]: child
+  // node ids or -1. Nodes unreachable from root are ignored.
+  FractionalCascading(const std::vector<std::vector<double>>& catalogs,
+                      const std::vector<std::array<int32_t, 2>>& children,
+                      int32_t root)
+      : children_(children), root_(root) {
+    TOPK_CHECK(catalogs.size() == children.size());
+    nodes_.resize(catalogs.size());
+    if (root_ >= 0) BuildAt(root_, catalogs);
+  }
+
+  int32_t root() const { return root_; }
+
+  // Positions the cursor at the root for query value y.
+  Cursor Start(double y) const {
+    Cursor c;
+    c.node = root_;
+    if (root_ < 0) return c;
+    const std::vector<double>& aug = nodes_[root_].aug;
+    c.aug_pos = static_cast<uint32_t>(
+        std::lower_bound(aug.begin(), aug.end(), y) - aug.begin());
+    return c;
+  }
+
+  // Moves the cursor to the given child (0 = left, 1 = right) in O(1)
+  // amortized; `y` is the same query value passed to Start.
+  Cursor Descend(const Cursor& cur, int child, double y) const {
+    TOPK_DCHECK(cur.node >= 0);
+    const Node& node = nodes_[cur.node];
+    Cursor next;
+    next.node = children_[cur.node][child];
+    if (next.node < 0) return next;
+    const std::vector<double>& child_aug = nodes_[next.node].aug;
+    uint32_t q = node.bridge[child][cur.aug_pos];
+    // The bridge points at the first child element >= A_v[aug_pos]
+    // (>= y); walk back over child elements that are also >= y.
+    while (q > 0 && child_aug[q - 1] >= y) --q;
+    next.aug_pos = q;
+    return next;
+  }
+
+  // Index in node's *native* catalog of the first element >= y.
+  size_t NativeLowerBound(const Cursor& cur) const {
+    TOPK_DCHECK(cur.node >= 0);
+    return nodes_[cur.node].native_lb[cur.aug_pos];
+  }
+
+  // Total augmented elements (space diagnostics; <= 2x native).
+  size_t augmented_size() const {
+    size_t total = 0;
+    for (const Node& node : nodes_) total += node.aug.size();
+    return total;
+  }
+
+ private:
+  struct Node {
+    std::vector<double> aug;  // augmented catalog, sorted
+    // native_lb[p] = index in the native catalog of the first native
+    // element >= aug[p]; size |aug| + 1 (sentinel = |native|).
+    std::vector<uint32_t> native_lb;
+    // bridge[c][p] = index in child c's augmented catalog of the first
+    // element >= aug[p]; size |aug| + 1 (sentinel).
+    std::array<std::vector<uint32_t>, 2> bridge;
+  };
+
+  void BuildAt(int32_t v, const std::vector<std::vector<double>>& catalogs) {
+    for (int c = 0; c < 2; ++c) {
+      if (children_[v][c] >= 0) BuildAt(children_[v][c], catalogs);
+    }
+    Node& node = nodes_[v];
+    const std::vector<double>& native = catalogs[v];
+
+    // Sampled child streams: every second element, starting at index 1
+    // so the first element of each pair is representable by its sample.
+    std::vector<double> merged = native;
+    for (int c = 0; c < 2; ++c) {
+      const int32_t ch = children_[v][c];
+      if (ch < 0) continue;
+      const std::vector<double>& ca = nodes_[ch].aug;
+      for (size_t i = 1; i < ca.size(); i += 2) merged.push_back(ca[i]);
+    }
+    std::sort(merged.begin(), merged.end());
+    node.aug = std::move(merged);
+
+    // Native lower-bound per augmented position.
+    node.native_lb.resize(node.aug.size() + 1);
+    node.native_lb[node.aug.size()] = static_cast<uint32_t>(native.size());
+    for (size_t p = node.aug.size(); p-- > 0;) {
+      node.native_lb[p] = static_cast<uint32_t>(
+          std::lower_bound(native.begin(), native.end(), node.aug[p]) -
+          native.begin());
+    }
+
+    // Bridges per child.
+    for (int c = 0; c < 2; ++c) {
+      std::vector<uint32_t>& bridge = node.bridge[c];
+      bridge.assign(node.aug.size() + 1, 0);
+      const int32_t ch = children_[v][c];
+      const std::vector<double>* ca =
+          ch >= 0 ? &nodes_[ch].aug : nullptr;
+      const uint32_t child_size =
+          ca != nullptr ? static_cast<uint32_t>(ca->size()) : 0;
+      bridge[node.aug.size()] = child_size;
+      if (ca == nullptr) continue;
+      for (size_t p = node.aug.size(); p-- > 0;) {
+        bridge[p] = static_cast<uint32_t>(
+            std::lower_bound(ca->begin(), ca->end(), node.aug[p]) -
+            ca->begin());
+      }
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<std::array<int32_t, 2>> children_;
+  int32_t root_ = -1;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_COMMON_CASCADE_H_

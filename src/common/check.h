@@ -1,0 +1,31 @@
+// Lightweight assertion macros.
+//
+// The library does not use exceptions (structures are total functions of
+// their inputs); violated preconditions are programming errors and abort
+// with a message. TOPK_CHECK is always on; TOPK_DCHECK compiles away in
+// release builds.
+
+#ifndef TOPK_COMMON_CHECK_H_
+#define TOPK_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define TOPK_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "TOPK_CHECK failed: %s at %s:%d\n", #cond,     \
+                   __FILE__, __LINE__);                                   \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define TOPK_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define TOPK_DCHECK(cond) TOPK_CHECK(cond)
+#endif
+
+#endif  // TOPK_COMMON_CHECK_H_

@@ -1,0 +1,49 @@
+// k-selection utilities.
+//
+// The paper's reductions repeatedly finish with "k-selection": given an
+// unordered candidate pool that is guaranteed to contain the k heaviest
+// qualifying elements, extract them in O(|pool|) time (O(|pool|/B) I/Os in
+// EM). We additionally sort the k survivors by descending weight — a
+// k log k afterthought that makes the public API pleasant; callers that
+// need the paper-exact unordered semantics use SelectTopKUnordered.
+
+#ifndef TOPK_COMMON_KSELECT_H_
+#define TOPK_COMMON_KSELECT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/weighted.h"
+
+namespace topk {
+
+// Truncates `pool` to its min(k, |pool|) heaviest elements, unordered.
+// Linear time (std::nth_element).
+template <typename E>
+void SelectTopKUnordered(std::vector<E>* pool, size_t k) {
+  if (pool->size() > k) {
+    std::nth_element(pool->begin(), pool->begin() + k, pool->end(),
+                     ByWeightDesc());
+    pool->resize(k);
+  }
+}
+
+// Truncates `pool` to its min(k, |pool|) heaviest elements, sorted by
+// descending weight.
+template <typename E>
+void SelectTopK(std::vector<E>* pool, size_t k) {
+  SelectTopKUnordered(pool, k);
+  std::sort(pool->begin(), pool->end(), ByWeightDesc());
+}
+
+// Convenience value-returning form.
+template <typename E>
+std::vector<E> TopKOf(std::vector<E> pool, size_t k) {
+  SelectTopK(&pool, k);
+  return pool;
+}
+
+}  // namespace topk
+
+#endif  // TOPK_COMMON_KSELECT_H_

@@ -1,0 +1,61 @@
+// Machine-independent cost counters.
+//
+// Every query entry point accepts an optional QueryStats* and charges its
+// work to it: structure-node visits, elements emitted by prioritized
+// queries, reduction rounds, and fallback activations. Benchmarks report
+// these counters alongside wall time so that complexity *shapes* can be
+// validated independently of the machine.
+
+#ifndef TOPK_COMMON_STATS_H_
+#define TOPK_COMMON_STATS_H_
+
+#include <cstdint>
+
+namespace topk {
+
+struct QueryStats {
+  // Nodes (tree nodes, slabs, hull vertices, ...) touched by structure
+  // queries. The unit is "one pointer chase", the RAM analogue of an I/O.
+  uint64_t nodes_visited = 0;
+  // Elements handed to prioritized-query sinks (including ones later
+  // discarded by k-selection).
+  uint64_t elements_emitted = 0;
+  // Prioritized queries issued by a reduction.
+  uint64_t prioritized_queries = 0;
+  // Max queries issued by a reduction.
+  uint64_t max_queries = 0;
+  // Rounds executed by the Theorem 2 query protocol.
+  uint64_t rounds = 0;
+  // Times a Theorem 1 query had to fall back to the verified
+  // binary-search reduction because a core-set sample was unlucky.
+  uint64_t fallbacks = 0;
+  // Full-scan terminations (k = Omega(n) paths and Theorem 2's terminal
+  // round).
+  uint64_t full_scans = 0;
+
+  void Reset() { *this = QueryStats(); }
+
+  QueryStats& operator+=(const QueryStats& o) {
+    nodes_visited += o.nodes_visited;
+    elements_emitted += o.elements_emitted;
+    prioritized_queries += o.prioritized_queries;
+    max_queries += o.max_queries;
+    rounds += o.rounds;
+    fallbacks += o.fallbacks;
+    full_scans += o.full_scans;
+    return *this;
+  }
+};
+
+// Increment helpers tolerating a null stats pointer (the convention for
+// callers that do not need accounting).
+inline void AddNodes(QueryStats* s, uint64_t n) {
+  if (s != nullptr) s->nodes_visited += n;
+}
+inline void AddEmitted(QueryStats* s, uint64_t n) {
+  if (s != nullptr) s->elements_emitted += n;
+}
+
+}  // namespace topk
+
+#endif  // TOPK_COMMON_STATS_H_

@@ -1,0 +1,192 @@
+// Theorem 1: the worst-case reduction from top-k to prioritized
+// reporting.
+//
+// Given any prioritized structure with geometrically converging space and
+// Q_pri(n) >= log_B n, on a polynomially bounded problem, this structure
+// answers top-k queries in O(Q_pri(n) * log_{g sqrt(B)} n + k/B) I/Os
+// with g = Q_pri(n)/log_B n — i.e. within an O(log_B n) factor of the
+// prioritized query cost — using O(S_pri(n)) space.
+//
+// Composition (Section 3.2):
+//   * f = 12*lambda*B*Q_pri(n);
+//   * a TopFChain on D serves queries with k <= f;
+//   * core-sets R[i] of D with K = 2^{i-1}*f (i = 1..h), each carrying
+//     its own TopFChain, serve queries with k > f: the pivot element of
+//     weight rank ceil(8*lambda*ln n) in q(R[i]) has weight rank [K, 4K]
+//     in q(D), so one prioritized fetch plus k-selection finishes;
+//   * queries with k >= n/2 scan.
+//
+// Correctness is unconditional: every sampled shortcut verifies its
+// output cardinality and falls back to the binary-search reduction
+// (O((Q_pri + k/B) log n), always correct) on failure. Failures are
+// counted in QueryStats::fallbacks and occur with probability O(n^-1)
+// per query with the paper constants.
+
+#ifndef TOPK_CORE_CORE_SET_TOPK_H_
+#define TOPK_CORE_CORE_SET_TOPK_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/kselect.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/binary_search_topk.h"
+#include "core/core_set.h"
+#include "core/factory.h"
+#include "core/problem.h"
+#include "core/reduction_options.h"
+#include "core/sink.h"
+#include "core/top_f.h"
+
+namespace topk {
+
+template <typename Problem, typename Pri>
+class CoreSetTopK {
+ public:
+  using Element = typename Problem::Element;
+  using Predicate = typename Problem::Predicate;
+
+  template <typename Factory = DirectFactory<Pri>>
+  explicit CoreSetTopK(std::vector<Element> data,
+                       const ReductionOptions& options = {},
+                       const Factory& factory = {})
+      : options_(options), n_(data.size()) {
+    Rng rng(options_.seed);
+    f_ = ComputeF(n_, options_);
+
+    // Core-sets R[i] of D with K = 2^{i-1} * f, for every K <= n. Draw
+    // them before `data` is consumed by the main chain.
+    std::vector<std::vector<Element>> samples;
+    for (double K = static_cast<double>(f_) * 2.0;
+         K <= static_cast<double>(n_); K *= 2.0) {
+      samples.push_back(BuildCoreSet(data, K, Problem::kLambda,
+                                     options_.constant_scale, &rng,
+                                     options_.max_core_set_attempts));
+    }
+
+    weights_desc_.reserve(n_);
+    for (const Element& e : data) weights_desc_.push_back(e.weight);
+    std::sort(weights_desc_.begin(), weights_desc_.end(),
+              std::greater<double>());
+
+    chain_.emplace(std::move(data), f_, options_.constant_scale, &rng,
+                   options_.max_core_set_attempts, factory);
+    large_k_chains_.reserve(samples.size());
+    for (std::vector<Element>& s : samples) {
+      large_k_chains_.emplace_back(std::move(s), f_,
+                                   options_.constant_scale, &rng,
+                                   options_.max_core_set_attempts, factory);
+    }
+  }
+
+  size_t size() const { return n_; }
+  size_t f() const { return f_; }
+  size_t num_chain_levels() const { return chain_->num_levels(); }
+  size_t num_large_k_core_sets() const { return large_k_chains_.size(); }
+
+  // The k heaviest elements of q(D), heaviest first (all of q(D) when
+  // |q(D)| < k). Exact for every input and every random draw.
+  std::vector<Element> Query(const Predicate& q, size_t k,
+                             QueryStats* stats = nullptr) const {
+    std::vector<Element> result;
+    if (k == 0 || n_ == 0) return result;
+    constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+    const Pri& pri = chain_->level0();
+
+    if (k <= f_) {
+      std::optional<std::vector<Element>> top = chain_->QueryTopF(q, stats);
+      if (top.has_value()) {
+        if (top->size() > k) top->resize(k);  // already sorted desc
+        return *std::move(top);
+      }
+      return Fallback(q, k, stats);
+    }
+
+    if (k >= n_ / 2) {
+      // Read everything: O(n/B) = O(k/B).
+      if (stats != nullptr) ++stats->full_scans;
+      MonitoredResult<Element> all =
+          MonitoredQuery(pri, q, kNegInf, n_ + 1, stats);
+      SelectTopK(&all.elements, k);
+      return all.elements;
+    }
+
+    // Smallest i with K = 2^{i-1} f >= k; k < n/2 guarantees K <= n, so
+    // the core-set exists unless the constant-scale ablation truncated
+    // the list — then fall back.
+    size_t i = 0;
+    double K = static_cast<double>(f_);
+    while (K < static_cast<double>(k)) {
+      K *= 2.0;
+      ++i;
+    }
+    const size_t budget = static_cast<size_t>(4.0 * K) + 1;
+    MonitoredResult<Element> probe =
+        MonitoredQuery(pri, q, kNegInf, budget, stats);
+    if (!probe.hit_budget) {
+      SelectTopK(&probe.elements, k);
+      return probe.elements;
+    }
+    if (i == 0 || i > large_k_chains_.size()) return Fallback(q, k, stats);
+
+    std::optional<std::vector<Element>> top =
+        large_k_chains_[i - 1].QueryTopF(q, stats);
+    const size_t rank = CoreSetRank(n_, Problem::kLambda,
+                                    options_.constant_scale);
+    if (!top.has_value() || top->size() < rank) return Fallback(q, k, stats);
+    const double tau = (*top)[rank - 1].weight;
+
+    // Pivot rank is in [K, 4K] w.h.p.; allow 2x slack.
+    MonitoredResult<Element> fetched = MonitoredQuery(
+        pri, q, tau, static_cast<size_t>(8.0 * K) + 1, stats);
+    if (fetched.hit_budget || fetched.elements.size() < k) {
+      return Fallback(q, k, stats);
+    }
+    SelectTopK(&fetched.elements, k);
+    return fetched.elements;
+  }
+
+ private:
+  // f = 12 * lambda * B * Q_pri(n) (eq. (9)), scaled for ablation and
+  // clamped so that f >= ceil(8*lambda*ln n) (inequality (11)) — the
+  // top-f result must always be deep enough to expose the Lemma 2 pivot.
+  static size_t ComputeF(size_t n, const ReductionOptions& options) {
+    const double q_pri = std::max(
+        1.0, Pri::QueryCostBound(n, options.block_size));
+    double f = options.constant_scale * 12.0 * Problem::kLambda *
+               static_cast<double>(options.block_size) * q_pri;
+    const double min_f = static_cast<double>(
+        CoreSetRank(n, Problem::kLambda, options.constant_scale));
+    if (f < min_f) f = min_f;
+    if (f < 1.0) f = 1.0;
+    return static_cast<size_t>(f);
+  }
+
+  std::vector<Element> Fallback(const Predicate& q, size_t k,
+                                QueryStats* stats) const {
+    if (stats != nullptr) ++stats->fallbacks;
+    return BinarySearchTopKQuery(chain_->level0(), weights_desc_, q, k,
+                                 stats);
+  }
+
+  ReductionOptions options_;
+  size_t n_;
+  size_t f_;
+  std::vector<double> weights_desc_;
+  // optional<> delays construction until f_ and the core-set samples are
+  // ready; always engaged after the constructor.
+  std::optional<TopFChain<Problem, Pri>> chain_;
+  std::vector<TopFChain<Problem, Pri>> large_k_chains_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_CORE_SET_TOPK_H_

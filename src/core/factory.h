@@ -1,0 +1,28 @@
+// Structure factories.
+//
+// The reductions build inner structures on sets they sample themselves
+// (core-set levels, Theorem 2's R_i), so they need a way to construct a
+// structure from a vector of elements. The default factory calls the
+// structure's vector constructor; environments whose structures need
+// extra context — e.g. the EM structures, which allocate pages through
+// a BufferPool — pass a capturing callable instead.
+
+#ifndef TOPK_CORE_FACTORY_H_
+#define TOPK_CORE_FACTORY_H_
+
+#include <utility>
+#include <vector>
+
+namespace topk {
+
+template <typename S>
+struct DirectFactory {
+  template <typename E>
+  S operator()(std::vector<E> data) const {
+    return S(std::move(data));
+  }
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_FACTORY_H_

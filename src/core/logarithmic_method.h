@@ -1,0 +1,145 @@
+// The logarithmic method (Bentley & Saxe): a general transform from any
+// *static* structure for a decomposable search problem to an
+// insert-only dynamic one.
+//
+// Both query types the reductions consume are decomposable:
+//   * prioritized reporting — the union of per-bucket reports;
+//   * max reporting — the heaviest of per-bucket maxima.
+// Elements live in O(log n) buckets of geometrically growing sizes; an
+// insertion merges the smallest colliding buckets and rebuilds one
+// static structure, for O((build(n)/n) * log n) amortized work. Queries
+// fan out over the O(log n) buckets.
+//
+// This composes with the paper's reductions: a problem with only static
+// structures (e.g. interval stabbing here) gains insert support in
+// SampledTopK by wrapping both structures — the reduction's own
+// requires-clauses light up automatically. (Deletions are out of scope:
+// tombstoning would distort the cost-monitoring budgets that the
+// reductions rely on.)
+
+#ifndef TOPK_CORE_LOGARITHMIC_METHOD_H_
+#define TOPK_CORE_LOGARITHMIC_METHOD_H_
+
+#include <cmath>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/weighted.h"
+
+namespace topk {
+
+template <typename Inner>
+class LogarithmicMethod {
+ public:
+  using Element = typename Inner::Element;
+  using Predicate = typename Inner::Predicate;
+
+  LogarithmicMethod() = default;
+
+  explicit LogarithmicMethod(std::vector<Element> data) {
+    if (!data.empty()) {
+      size_ = data.size();
+      buckets_.push_back(MakeBucket(std::move(data)));
+    }
+  }
+
+  size_t size() const { return size_; }
+  size_t num_buckets() const { return buckets_.size(); }
+
+  // One extra log on the static bound (the bucket fan-out).
+  static double QueryCostBound(size_t n, size_t block_size) {
+    const double base = Inner::QueryCostBound(n, block_size);
+    if (n < 2) return base;
+    return base * std::max(1.0, std::log2(static_cast<double>(n)) /
+                                    std::log2(static_cast<double>(
+                                        block_size < 2 ? 2 : block_size)));
+  }
+
+  void Insert(const Element& e) {
+    // Collect every bucket no larger than the insertion batch, merge,
+    // rebuild one structure of the combined size (standard binomial-
+    // counter argument gives the amortized bound).
+    std::vector<Element> pool{e};
+    while (!buckets_.empty() &&
+           buckets_.back().elements.size() <= pool.size()) {
+      std::vector<Element>& victim = buckets_.back().elements;
+      pool.insert(pool.end(), victim.begin(), victim.end());
+      buckets_.pop_back();
+    }
+    buckets_.push_back(MakeBucket(std::move(pool)));
+    // Keep buckets sorted by decreasing size (swap up as needed).
+    for (size_t i = buckets_.size(); i-- > 1;) {
+      if (buckets_[i].elements.size() > buckets_[i - 1].elements.size()) {
+        std::swap(buckets_[i], buckets_[i - 1]);
+      } else {
+        break;
+      }
+    }
+    ++size_;
+  }
+
+  // Enumerates all stored elements (lets SampledTopK's global
+  // rebuilding work over this wrapper too).
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (const Bucket& bucket : buckets_) {
+      for (const Element& e : bucket.elements) f(e);
+    }
+  }
+
+  template <typename Emit>
+  void QueryPrioritized(const Predicate& q, double tau, Emit&& emit,
+                        QueryStats* stats = nullptr) const
+    requires requires(const Inner& s, Emit e) {
+      s.QueryPrioritized(q, tau, e, stats);
+    }
+  {
+    bool keep_going = true;
+    for (const Bucket& bucket : buckets_) {
+      AddNodes(stats, 1);
+      bucket.inner.QueryPrioritized(
+          q, tau, [&](const Element& e) { return keep_going = emit(e); },
+          stats);
+      if (!keep_going) return;
+    }
+  }
+
+  std::optional<Element> QueryMax(const Predicate& q,
+                                  QueryStats* stats = nullptr) const
+    requires requires(const Inner& s) { s.QueryMax(q, stats); }
+  {
+    std::optional<Element> best;
+    for (const Bucket& bucket : buckets_) {
+      AddNodes(stats, 1);
+      std::optional<Element> hit = bucket.inner.QueryMax(q, stats);
+      if (hit.has_value() &&
+          (!best.has_value() || HeavierThan(*hit, *best))) {
+        best = hit;
+      }
+    }
+    return best;
+  }
+
+ private:
+  // Each bucket keeps its own element copy so rebuilding never depends
+  // on the inner structure exposing enumeration.
+  struct Bucket {
+    std::vector<Element> elements;
+    Inner inner;
+  };
+
+  static Bucket MakeBucket(std::vector<Element> elements) {
+    Inner inner{std::vector<Element>(elements)};  // build from a copy
+    return Bucket{std::move(elements), std::move(inner)};
+  }
+
+  size_t size_ = 0;
+  std::vector<Bucket> buckets_;  // decreasing size
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_LOGARITHMIC_METHOD_H_

@@ -1,0 +1,100 @@
+// The Problem trait: what a reporting problem must provide to plug into
+// the general reductions.
+//
+// A Problem is a struct with:
+//
+//   using Element   = ...;   // O(1)-word element; must have public fields
+//                            //   double weight;  uint64_t id;
+//   using Predicate = ...;   // a query predicate q in the family Q
+//   static bool Matches(const Predicate& q, const Element& e);
+//   static constexpr double kLambda = ...;
+//
+// kLambda is the polynomial-boundedness exponent of Theorem 1: over all
+// predicates q in Q, at most n^kLambda distinct outcomes q(D) exist for
+// any n-element input D. (E.g. 1D range reporting: every outcome is an
+// index interval of the sorted order => at most n^2 outcomes, kLambda = 2.)
+//
+// A PRIORITIZED structure over a Problem must provide:
+//
+//   explicit Structure(std::vector<Element> data);
+//   size_t size() const;
+//   template <typename Emit>   // Emit: bool(const Element&); false = stop
+//   void QueryPrioritized(const Predicate& q, double tau, Emit&& emit,
+//                         QueryStats* stats) const;
+//   static double QueryCostBound(size_t n, size_t block_size);  // Q_pri(n)
+//
+// QueryPrioritized must report every element e with Matches(q, e) and
+// w(e) >= tau, each exactly once, in any order, stopping as soon as emit
+// returns false (the paper's "cost monitoring" device). Its cost must be
+// output-sensitive: Q_pri(n) + O(t) work for t reported elements.
+//
+// A MAX structure over a Problem must provide:
+//
+//   explicit Structure(std::vector<Element> data);
+//   size_t size() const;
+//   std::optional<Element> QueryMax(const Predicate& q,
+//                                   QueryStats* stats) const;
+//   static double QueryCostBound(size_t n, size_t block_size);  // Q_max(n)
+//
+// DYNAMIC structures (needed only by SampledTopK updates) additionally
+// provide:
+//
+//   void Insert(const Element& e);
+//   void Erase(const Element& e);   // e must be present
+//
+// The requirements are duck-typed (plain templates); the light concepts
+// below catch the most common signature mistakes at instantiation time.
+
+#ifndef TOPK_CORE_PROBLEM_H_
+#define TOPK_CORE_PROBLEM_H_
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace topk {
+
+template <typename P>
+concept ProblemDef = requires(const typename P::Predicate& q,
+                              const typename P::Element& e) {
+  { P::Matches(q, e) } -> std::convertible_to<bool>;
+  { P::kLambda } -> std::convertible_to<double>;
+  { e.weight } -> std::convertible_to<double>;
+  { e.id } -> std::convertible_to<uint64_t>;
+};
+
+// A sink type used only to validate structure signatures in concepts.
+template <typename E>
+struct AnySink {
+  bool operator()(const E&) const { return true; }
+};
+
+template <typename S, typename P>
+concept PrioritizedStructure =
+    ProblemDef<P> &&
+    requires(const S& s, const typename P::Predicate& q, double tau,
+             AnySink<typename P::Element> sink, QueryStats* stats) {
+      { s.size() } -> std::convertible_to<size_t>;
+      s.QueryPrioritized(q, tau, sink, stats);
+      { S::QueryCostBound(size_t{1}, size_t{64}) } ->
+          std::convertible_to<double>;
+    };
+
+template <typename S, typename P>
+concept MaxStructure =
+    ProblemDef<P> &&
+    requires(const S& s, const typename P::Predicate& q, QueryStats* stats) {
+      { s.size() } -> std::convertible_to<size_t>;
+      { s.QueryMax(q, stats) } ->
+          std::convertible_to<std::optional<typename P::Element>>;
+      { S::QueryCostBound(size_t{1}, size_t{64}) } ->
+          std::convertible_to<double>;
+    };
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_PROBLEM_H_

@@ -1,0 +1,58 @@
+// Rank sampling (Section 3.1 and Section 4 of the paper).
+//
+// A p-sample of a set S keeps each element independently with probability
+// p. The paper's two sampling lemmas govern how ranks transfer between S
+// and the sample:
+//
+//   Lemma 1: if kp >= 3 ln(3/delta) and n >= 4k, then with probability
+//            >= 1 - delta the sample R has |R| > 2kp and the element of
+//            rank ceil(2kp) in R has rank in [k, 4k] in S.
+//   Lemma 3: for a (1/K)-sample with n >= 4K >= 8, with probability
+//            >= 0.09 the sample is non-empty and its largest element has
+//            rank in (K, 4K] in S.
+//
+// This header provides the sampling primitive plus the rank arithmetic,
+// so tests can validate the lemmas empirically (experiment E6).
+
+#ifndef TOPK_CORE_RANK_SAMPLING_H_
+#define TOPK_CORE_RANK_SAMPLING_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace topk {
+
+// Keeps each element of `data` independently with probability p.
+template <typename E>
+std::vector<E> PSample(const std::vector<E>& data, double p, Rng* rng) {
+  TOPK_CHECK(rng != nullptr);
+  std::vector<E> sample;
+  if (p <= 0) return sample;
+  if (p >= 1) return data;
+  sample.reserve(static_cast<size_t>(p * static_cast<double>(data.size())) +
+                 16);
+  for (const E& e : data) {
+    if (rng->Bernoulli(p)) sample.push_back(e);
+  }
+  return sample;
+}
+
+// Lemma 1's sample rank: the element of rank ceil(2kp) in a p-sample
+// approximates rank-k of the ground set.
+inline size_t Lemma1SampleRank(size_t k, double p) {
+  return static_cast<size_t>(
+      std::ceil(2.0 * static_cast<double>(k) * p));
+}
+
+// Lemma 1's working condition kp >= 3 ln(3/delta).
+inline bool Lemma1ConditionHolds(size_t k, double p, double delta) {
+  return static_cast<double>(k) * p >= 3.0 * std::log(3.0 / delta);
+}
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_RANK_SAMPLING_H_

@@ -1,0 +1,44 @@
+// Tunables of the two reductions.
+//
+// Defaults follow the paper exactly; every constant can be overridden so
+// the ablation benchmarks (E15) can measure how much headroom the paper's
+// worst-case constants leave on realistic inputs.
+
+#ifndef TOPK_CORE_REDUCTION_OPTIONS_H_
+#define TOPK_CORE_REDUCTION_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace topk {
+
+struct ReductionOptions {
+  // The external-memory block size B, in words. The paper assumes
+  // B >= 64 (its inequalities (10) and (11) rely on it). In the RAM model
+  // B is simply a constant parameter of the reduction.
+  size_t block_size = 64;
+
+  // Multiplies the paper's structural constants: the core-set parameter
+  // f = 12*lambda*B*Q_pri(n) of Theorem 1 and the core-set rank
+  // ceil(8*lambda*ln n) of Lemma 2. Values < 1 trade the w.h.p.
+  // guarantees for speed; correctness is unaffected because queries
+  // verify their answer and fall back when a sample proves unlucky.
+  double constant_scale = 1.0;
+
+  // Theorem 2's geometric spacing sigma (paper: 1/20). K_i grows by
+  // (1 + sigma) per level.
+  double sigma = 0.05;
+
+  // Seed for all sampling. Two structures built with the same data and
+  // seed are identical.
+  uint64_t seed = 0x7074'6f70'6b31ULL;
+
+  // Lemma 2's proof succeeds with probability > 1/6 per draw; the builder
+  // redraws a core-set whose *size* exceeds the Markov bound (3np) up to
+  // this many times before accepting the smallest draw seen.
+  size_t max_core_set_attempts = 16;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_REDUCTION_OPTIONS_H_

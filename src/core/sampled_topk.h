@@ -1,0 +1,259 @@
+// Theorem 2: the expected-cost reduction from top-k to prioritized +
+// max reporting, with no asymptotic degradation.
+//
+// Structure (Section 4): a prioritized structure on D, plus for each
+// i = 1..h a (1/K_i)-sample R_i of D carrying a max structure, where
+// K_i = B * Q_max(n) * (1+sigma)^{i-1} (sigma = 1/20) and h is the
+// largest i with K_i <= n/4.
+//
+// Query (round protocol): starting at the smallest i with K_i >= k, each
+// round j
+//   1. probes |q(D)| <= 4K_j with a cost-monitored prioritized query
+//      (success: k-selection finishes);
+//   2. asks the max structure on R_j for the heaviest sampled element e
+//      in q(R_j);
+//   3. fetches {w >= w(e)} cost-monitored with budget 4K_j + 1;
+//   4. succeeds iff the fetch completed with more than K_j elements
+//      (Lemma 3: probability >= 0.09 per round), else moves to round
+//      j + 1; the terminal round scans D.
+// Expected cost: O(Q_pri + Q_max + k/B); rounds have geometric tails
+// (validated by experiment E13). The protocol is deterministic-correct —
+// no fallback is ever needed.
+//
+// Updates: an element appears in O(1) sampled sets in expectation, so
+// Insert/Erase forward to the prioritized structure plus the (hash-
+// recorded) max structures containing the element, at expected cost
+// O(U_pri + U_max). Available when both structures are dynamic.
+
+#ifndef TOPK_CORE_SAMPLED_TOPK_H_
+#define TOPK_CORE_SAMPLED_TOPK_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/kselect.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/factory.h"
+#include "core/problem.h"
+#include "core/reduction_options.h"
+#include "core/sink.h"
+
+namespace topk {
+
+template <typename Problem, typename Pri, typename Max,
+          typename PriFactory = DirectFactory<Pri>,
+          typename MaxFactory = DirectFactory<Max>>
+class SampledTopK {
+ public:
+  using Element = typename Problem::Element;
+  using Predicate = typename Problem::Predicate;
+
+  // Membership bookkeeping (id -> sampled levels) is only needed to
+  // support Erase; skip it entirely for static instantiations.
+  static constexpr bool kDynamic =
+      requires(Pri& p, Max& m, const Element& e) {
+        p.Insert(e);
+        p.Erase(e);
+        m.Insert(e);
+        m.Erase(e);
+      };
+
+  explicit SampledTopK(std::vector<Element> data,
+                       const ReductionOptions& options = {},
+                       PriFactory pri_factory = {},
+                       MaxFactory max_factory = {})
+      : options_(options),
+        rng_(options.seed),
+        pri_factory_(std::move(pri_factory)),
+        max_factory_(std::move(max_factory)) {
+    Build(std::move(data));
+  }
+
+  size_t size() const { return n_; }
+  size_t num_sample_levels() const { return levels_.size(); }
+  size_t sample_level_size(size_t i) const { return levels_[i].max.size(); }
+  double base_k() const { return base_k_; }
+
+  // The k heaviest elements of q(D), heaviest first. Exact always;
+  // expected cost O(Q_pri + Q_max + k/B).
+  std::vector<Element> Query(const Predicate& q, size_t k,
+                             QueryStats* stats = nullptr) const {
+    std::vector<Element> result;
+    if (k == 0 || n_ == 0) return result;
+    constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+    // Queries below B*Q_max are served as top-(B*Q_max) + k-selection.
+    const double k_eff =
+        std::max(static_cast<double>(k), base_k_);
+
+    // Smallest level i with K_i >= k_eff; none (or k too large) => scan.
+    size_t i = levels_.size();
+    for (size_t j = 0; j < levels_.size(); ++j) {
+      if (levels_[j].K >= k_eff) {
+        i = j;
+        break;
+      }
+    }
+    if (i == levels_.size()) return ScanAll(q, k, stats);
+
+    for (size_t j = i; j < levels_.size(); ++j) {
+      if (stats != nullptr) ++stats->rounds;
+      const Level& level = levels_[j];
+      const size_t budget = static_cast<size_t>(4.0 * level.K) + 1;
+
+      // Step 1: if |q(D)| <= 4K_j the monitored query completes.
+      MonitoredResult<Element> probe =
+          MonitoredQuery(*pri_, q, kNegInf, budget, stats);
+      if (!probe.hit_budget) {
+        SelectTopK(&probe.elements, k);
+        return probe.elements;
+      }
+
+      // Step 2: heaviest sampled element under q.
+      if (stats != nullptr) ++stats->max_queries;
+      std::optional<Element> e = level.max.QueryMax(q, stats);
+      if (!e.has_value()) continue;  // tau = -inf would just repeat step 1.
+
+      // Step 3: fetch everything at least as heavy as the sample max.
+      MonitoredResult<Element> fetched =
+          MonitoredQuery(*pri_, q, e->weight, budget, stats);
+
+      // Step 4: succeeded iff completed with |S| > K_j (Lemma 3's rank
+      // window guarantees the top-k are inside S then).
+      if (!fetched.hit_budget &&
+          static_cast<double>(fetched.elements.size()) > level.K) {
+        SelectTopK(&fetched.elements, k);
+        return fetched.elements;
+      }
+    }
+    return ScanAll(q, k, stats);  // terminal round: read the whole D.
+  }
+
+  // --- Dynamic interface (requires dynamic Pri and Max) -----------------
+
+  void Insert(const Element& e)
+    requires requires(Pri& p, Max& m) {
+      p.Insert(e);
+      m.Insert(e);
+    }
+  {
+    pri_->Insert(e);
+    ++n_;
+    std::vector<uint32_t> where;
+    for (uint32_t j = 0; j < levels_.size(); ++j) {
+      if (rng_.Bernoulli(1.0 / levels_[j].K)) {
+        levels_[j].max.Insert(e);
+        where.push_back(j);
+      }
+    }
+    if (!where.empty()) membership_[e.id] = std::move(where);
+    MaybeRebuild();
+  }
+
+  void Erase(const Element& e)
+    requires requires(Pri& p, Max& m) {
+      p.Erase(e);
+      m.Erase(e);
+    }
+  {
+    pri_->Erase(e);
+    TOPK_CHECK(n_ > 0);
+    --n_;
+    auto it = membership_.find(e.id);
+    if (it != membership_.end()) {
+      for (uint32_t j : it->second) levels_[j].max.Erase(e);
+      membership_.erase(it);
+    }
+    MaybeRebuild();
+  }
+
+ private:
+  struct Level {
+    double K;
+    Max max;
+  };
+
+  void Build(std::vector<Element> data) {
+    n_ = data.size();
+    built_n_ = n_;
+    levels_.clear();
+    membership_.clear();
+
+    const double q_max = std::max(
+        1.0, Max::QueryCostBound(n_, options_.block_size));
+    base_k_ = static_cast<double>(options_.block_size) * q_max;
+
+    std::vector<std::pair<double, std::vector<Element>>> samples;
+    for (double K = base_k_;
+         K <= static_cast<double>(n_) / 4.0;
+         K *= (1.0 + options_.sigma)) {
+      std::vector<Element> r;
+      const double p = 1.0 / K;
+      for (const Element& e : data) {
+        if (rng_.Bernoulli(p)) r.push_back(e);
+      }
+      samples.emplace_back(K, std::move(r));
+    }
+
+    for (auto& [K, sample] : samples) {
+      if constexpr (kDynamic) {
+        const uint32_t j = static_cast<uint32_t>(levels_.size());
+        for (const Element& e : sample) membership_[e.id].push_back(j);
+      }
+      levels_.push_back(Level{K, max_factory_(std::move(sample))});
+    }
+    pri_.emplace(pri_factory_(std::move(data)));
+  }
+
+  std::vector<Element> ScanAll(const Predicate& q, size_t k,
+                               QueryStats* stats) const {
+    constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+    if (stats != nullptr) ++stats->full_scans;
+    MonitoredResult<Element> all =
+        MonitoredQuery(*pri_, q, kNegInf, n_ + 1, stats);
+    SelectTopK(&all.elements, k);
+    return all.elements;
+  }
+
+  // Global rebuilding keeps the K_i ladder matched to the current n;
+  // amortized O((build cost)/n) per update. Requires the prioritized
+  // structure to support enumeration (ForEach); otherwise the structure
+  // stays correct but its large-k path degrades toward scanning.
+  void MaybeRebuild() {
+    if constexpr (requires(const Pri& p) {
+                    p.ForEach([](const Element&) {});
+                  }) {
+      if (n_ > 2 * built_n_ || (built_n_ >= 8 && n_ < built_n_ / 2)) {
+        std::vector<Element> all;
+        all.reserve(n_);
+        pri_->ForEach([&all](const Element& e) { all.push_back(e); });
+        Build(std::move(all));
+      }
+    }
+  }
+
+  ReductionOptions options_;
+  Rng rng_;
+  PriFactory pri_factory_;
+  MaxFactory max_factory_;
+  size_t n_ = 0;
+  size_t built_n_ = 0;
+  double base_k_ = 1.0;
+  // optional<> lets Build construct the structure after sampling; always
+  // engaged outside the constructor.
+  std::optional<Pri> pri_;
+  std::vector<Level> levels_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> membership_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_SAMPLED_TOPK_H_

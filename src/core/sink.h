@@ -1,0 +1,55 @@
+// Cost-monitored prioritized queries (Section 3.2 of the paper).
+//
+// The reductions never count |q(D)| directly. Instead they issue a
+// prioritized query with a *budget*: collect elements until either the
+// query terminates by itself (the result is complete) or budget elements
+// have been fetched (proving |result| >= budget). MonitoredQuery packages
+// that device.
+
+#ifndef TOPK_CORE_SINK_H_
+#define TOPK_CORE_SINK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace topk {
+
+template <typename E>
+struct MonitoredResult {
+  // Elements fetched, in structure emission order. When hit_budget is
+  // false this is the complete set {e in q(D) : w(e) >= tau}; when true
+  // it is an arbitrary budget-sized subset of it (the query was cut off).
+  std::vector<E> elements;
+  bool hit_budget = false;
+};
+
+// Runs s.QueryPrioritized(q, tau, ...) collecting at most `budget`
+// elements. Typical use per the paper: budget = 4K + 1 proves
+// |{w >= tau} cap q(D)| > 4K whenever hit_budget is true.
+template <typename S, typename Pred, typename E = typename S::Element>
+MonitoredResult<E> MonitoredQuery(const S& s, const Pred& q, double tau,
+                                  size_t budget, QueryStats* stats) {
+  MonitoredResult<E> out;
+  if (budget == 0) {
+    out.hit_budget = true;
+    return out;
+  }
+  out.elements.reserve(budget < 1024 ? budget : 1024);
+  s.QueryPrioritized(
+      q, tau,
+      [&out, budget](const E& e) {
+        out.elements.push_back(e);
+        return out.elements.size() < budget;
+      },
+      stats);
+  out.hit_budget = out.elements.size() >= budget;
+  AddEmitted(stats, out.elements.size());
+  if (stats != nullptr) ++stats->prioritized_queries;
+  return out;
+}
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_SINK_H_

@@ -1,0 +1,134 @@
+// The top-f structure of Section 3.2 (first half): a chain of nested
+// core-sets answering top-k queries with k <= f.
+//
+// Level 0 is the input set S = R_0 with a prioritized structure on it;
+// level j+1 is a core-set of level j with parameter K = f. The chain
+// stops at the first level of size <= 4f (or as soon as deeper core-sets
+// stop shrinking, which cannot happen with the paper's constants).
+//
+// A top-f query at level j:
+//   * runs a cost-monitored prioritized query with tau = -inf and budget
+//     4f + 1; if it completes, k-selection finishes the job;
+//   * otherwise (|q(R_j)| > 4f) recursively obtains the top-f of
+//     q(R_{j+1}), reads the element e of weight rank ceil(8*lambda*ln n_j)
+//     in it — by Lemma 2, e has weight rank in [f, 4f] within q(R_j) —
+//     and fetches {w >= w(e)} from level j's prioritized structure.
+//
+// Unlucky-sample handling: the fetched set is verified to contain at
+// least f elements and at most 8f (twice Lemma 2's bound, leaving slack
+// before declaring the sample bad); a violation surfaces as nullopt and
+// the caller (CoreSetTopK) falls back to the binary-search reduction.
+
+#ifndef TOPK_CORE_TOP_F_H_
+#define TOPK_CORE_TOP_F_H_
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/kselect.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/core_set.h"
+#include "core/factory.h"
+#include "core/problem.h"
+#include "core/sink.h"
+
+namespace topk {
+
+template <typename Problem, typename Pri>
+class TopFChain {
+ public:
+  using Element = typename Problem::Element;
+  using Predicate = typename Problem::Predicate;
+
+  // Builds the chain on `data`. `f` is Theorem 1's core-set parameter
+  // (already clamped by the caller to be >= the Lemma 2 rank);
+  // `constant_scale` is forwarded to the core-set builder; `factory`
+  // constructs a Pri from a vector of elements (see core/factory.h).
+  template <typename Factory = DirectFactory<Pri>>
+  TopFChain(std::vector<Element> data, size_t f, double constant_scale,
+            Rng* rng, size_t max_core_set_attempts,
+            const Factory& factory = {})
+      : f_(f), scale_(constant_scale) {
+    TOPK_CHECK(f_ >= 1);
+    std::vector<Element> current = std::move(data);
+    while (true) {
+      const size_t n_j = current.size();
+      std::vector<Element> next;
+      const bool bottom = n_j <= 4 * f_;
+      if (!bottom) {
+        next = BuildCoreSet(current, static_cast<double>(f_),
+                            Problem::kLambda, scale_, rng,
+                            max_core_set_attempts);
+      }
+      levels_.push_back(Level{factory(std::move(current)), n_j});
+      if (bottom) break;
+      // Guard against a non-shrinking chain (possible only with
+      // aggressive constant_scale ablation): stop; queries that bottom
+      // out here report failure and the caller falls back.
+      if (next.size() >= n_j) break;
+      current = std::move(next);
+    }
+  }
+
+  size_t f() const { return f_; }
+  size_t num_levels() const { return levels_.size(); }
+  size_t level_size(size_t j) const { return levels_[j].n; }
+
+  // The prioritized structure on the full input set (level 0) — shared
+  // with the enclosing CoreSetTopK so the input is indexed once.
+  const Pri& level0() const { return levels_.front().pri; }
+
+  // Top-min(f, |q(S)|) elements of q(S), heaviest first; nullopt when an
+  // unlucky core-set defeated the algorithm (caller must fall back).
+  std::optional<std::vector<Element>> QueryTopF(const Predicate& q,
+                                                QueryStats* stats) const {
+    return QueryLevel(0, q, stats);
+  }
+
+ private:
+  struct Level {
+    Pri pri;
+    size_t n;  // number of elements indexed at this level
+  };
+
+  std::optional<std::vector<Element>> QueryLevel(size_t j, const Predicate& q,
+                                                 QueryStats* stats) const {
+    constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+    const Level& level = levels_[j];
+    MonitoredResult<Element> r =
+        MonitoredQuery(level.pri, q, kNegInf, 4 * f_ + 1, stats);
+    if (!r.hit_budget) {
+      SelectTopK(&r.elements, f_);
+      return std::move(r.elements);
+    }
+    if (j + 1 >= levels_.size()) return std::nullopt;  // truncated chain
+
+    std::optional<std::vector<Element>> deeper = QueryLevel(j + 1, q, stats);
+    if (!deeper.has_value()) return std::nullopt;
+    const size_t rank = CoreSetRank(level.n, Problem::kLambda, scale_);
+    if (deeper->size() < rank) return std::nullopt;  // unlucky sample
+    const double tau = (*deeper)[rank - 1].weight;
+
+    // Lemma 2: e has weight rank in [f, 4f] within q(R_j) w.h.p.; allow
+    // 2x slack before declaring the sample bad.
+    MonitoredResult<Element> fetched =
+        MonitoredQuery(level.pri, q, tau, 8 * f_ + 1, stats);
+    if (fetched.hit_budget) return std::nullopt;          // rank too deep
+    if (fetched.elements.size() < f_) return std::nullopt;  // rank too high
+    SelectTopK(&fetched.elements, f_);
+    return std::move(fetched.elements);
+  }
+
+  size_t f_;
+  double scale_;
+  std::vector<Level> levels_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_TOP_F_H_

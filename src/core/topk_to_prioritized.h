@@ -1,0 +1,66 @@
+// The reverse reduction (Section 1.2; [26, 28, 29]): prioritized
+// reporting from any top-k structure, with no asymptotic degradation.
+//
+// Given (q, tau), query top-k with geometrically growing k starting at
+// the block size. Stop as soon as either the structure returns fewer
+// than k elements (q(D) exhausted) or the lightest returned element
+// falls below tau (everything at or above tau is inside the prefix).
+// With Q_top(n) + O(k/B) top-k queries this costs
+// O(Q_top(n) * log(t/B) + t/B) = O(Q_top(n)) + O(t/B) amortized over the
+// doubling — the paper's point that prioritized reporting is never
+// harder than top-k.
+
+#ifndef TOPK_CORE_TOPK_TO_PRIORITIZED_H_
+#define TOPK_CORE_TOPK_TO_PRIORITIZED_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/weighted.h"
+
+namespace topk {
+
+// Wraps any top-k structure (anything with Query(q, k, stats) returning
+// descending-weight vectors) as a prioritized structure.
+template <typename TopK>
+class TopKToPrioritized {
+ public:
+  using Element = typename TopK::Element;
+  using Predicate = typename TopK::Predicate;
+
+  explicit TopKToPrioritized(TopK topk, size_t initial_k = 64)
+      : topk_(std::move(topk)), initial_k_(initial_k == 0 ? 1 : initial_k) {}
+
+  size_t size() const { return topk_.size(); }
+  const TopK& inner() const { return topk_; }
+
+  template <typename Emit>
+  void QueryPrioritized(const Predicate& q, double tau, Emit&& emit,
+                        QueryStats* stats = nullptr) const {
+    size_t k = initial_k_;
+    while (true) {
+      std::vector<Element> top = topk_.Query(q, k, stats);
+      const bool exhausted = top.size() < k;
+      const bool past_tau =
+          !top.empty() && !MeetsThreshold(top.back(), tau);
+      if (exhausted || past_tau || k >= topk_.size()) {
+        for (const Element& e : top) {
+          if (!MeetsThreshold(e, tau)) break;  // sorted desc
+          if (!emit(e)) return;
+        }
+        return;
+      }
+      k *= 2;
+    }
+  }
+
+ private:
+  TopK topk_;
+  size_t initial_k_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_TOPK_TO_PRIORITIZED_H_

@@ -1,0 +1,199 @@
+// Weight-augmented kd-tree: a generic prioritized + max structure for
+// decomposable point predicates (dominance boxes, disks, halfplanes).
+//
+// Median-split kd-tree storing one element per node, each node caching
+// its subtree's bounding box and max weight. Queries prune subtrees
+// whose box misses the predicate or whose max weight misses the
+// threshold; fully-contained subtrees are traversed emitting only
+// qualifying weights.
+//
+// Substitution note (see DESIGN.md): the paper's dominance instantiation
+// cites Afshani–Arge–Larsen [2] and Rahul [27] — structures far beyond
+// reasonable reimplementation. The kd-tree provides the identical
+// *interface contract* (output-sensitive prioritized reporting and max
+// reporting) with practical performance close to polylogarithmic on the
+// random workloads of the experiments; the reductions consume only the
+// contract. QueryCostBound deliberately reports a practical polylog
+// estimate: feeding the worst-case O(n^{1-1/d}) bound into Theorem 1's
+// f = 12*lambda*B*Q_pri(n) would exceed n for every laptop-scale input
+// and degenerate the structure into a scan (the regime where the paper's
+// remark "Q_top = O(Q_pri) when Q_pri >= (n/B)^eps" holds trivially).
+//
+// Geo trait requirements (static members):
+//   kDims                                  — dimensionality
+//   double Coord(const E&, int dim)        — point coordinates
+//   bool IntersectsBox(const Predicate&, const double* lo,
+//                      const double* hi)   — predicate may meet the box
+//   bool ContainsBox(const Predicate&, const double* lo,
+//                    const double* hi)     — every box point matches
+
+#ifndef TOPK_DOMINANCE_KDTREE_H_
+#define TOPK_DOMINANCE_KDTREE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/weighted.h"
+
+namespace topk::dominance {
+
+template <typename Problem, typename Geo>
+class KdTree {
+ public:
+  using Element = typename Problem::Element;
+  using Predicate = typename Problem::Predicate;
+  static constexpr int kDims = Geo::kDims;
+
+  explicit KdTree(std::vector<Element> data) {
+    nodes_.reserve(data.size());
+    if (!data.empty()) root_ = Build(&data, 0, data.size(), 0);
+  }
+
+  size_t size() const { return nodes_.size(); }
+
+  // Practical polylog estimate (see header comment).
+  static double QueryCostBound(size_t n, size_t block_size) {
+    if (n < 2) return 1.0;
+    const double lg_b = std::log2(static_cast<double>(
+        block_size < 2 ? size_t{2} : block_size));
+    const double lg_n = std::log2(static_cast<double>(n));
+    return std::max(1.0, lg_n * lg_n / lg_b);
+  }
+
+  template <typename Emit>
+  void QueryPrioritized(const Predicate& q, double tau, Emit&& emit,
+                        QueryStats* stats = nullptr) const {
+    VisitPrioritized(root_, q, tau, emit, stats);
+  }
+
+  std::optional<Element> QueryMax(const Predicate& q,
+                                  QueryStats* stats = nullptr) const {
+    const Element* best = nullptr;
+    VisitMax(root_, q, &best, stats);
+    if (best == nullptr) return std::nullopt;
+    return *best;
+  }
+
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (const Node& node : nodes_) f(node.element);
+  }
+
+ private:
+  static constexpr int32_t kNil = -1;
+
+  struct Node {
+    Element element;
+    double box_lo[kDims];
+    double box_hi[kDims];
+    double subtree_max_weight;
+    int32_t left = kNil;
+    int32_t right = kNil;
+  };
+
+  int32_t Build(std::vector<Element>* data, size_t lo, size_t hi,
+                int depth) {
+    if (lo >= hi) return kNil;
+    const int dim = depth % kDims;
+    const size_t mid = lo + (hi - lo) / 2;
+    std::nth_element(data->begin() + lo, data->begin() + mid,
+                     data->begin() + hi,
+                     [dim](const Element& a, const Element& b) {
+                       return Geo::Coord(a, dim) < Geo::Coord(b, dim);
+                     });
+    const int32_t idx = static_cast<int32_t>(nodes_.size());
+    nodes_.push_back(Node{});
+    nodes_[idx].element = (*data)[mid];
+    const int32_t l = Build(data, lo, mid, depth + 1);
+    const int32_t r = Build(data, mid + 1, hi, depth + 1);
+    Node& node = nodes_[idx];
+    node.left = l;
+    node.right = r;
+    for (int d = 0; d < kDims; ++d) {
+      node.box_lo[d] = node.box_hi[d] = Geo::Coord(node.element, d);
+    }
+    node.subtree_max_weight = node.element.weight;
+    for (int32_t child : {l, r}) {
+      if (child == kNil) continue;
+      const Node& c = nodes_[child];
+      for (int d = 0; d < kDims; ++d) {
+        node.box_lo[d] = std::min(node.box_lo[d], c.box_lo[d]);
+        node.box_hi[d] = std::max(node.box_hi[d], c.box_hi[d]);
+      }
+      node.subtree_max_weight =
+          std::max(node.subtree_max_weight, c.subtree_max_weight);
+    }
+    return idx;
+  }
+
+  template <typename Emit>
+  bool VisitPrioritized(int32_t idx, const Predicate& q, double tau,
+                        Emit& emit, QueryStats* stats) const {
+    if (idx == kNil) return true;
+    const Node& node = nodes_[idx];
+    AddNodes(stats, 1);
+    if (node.subtree_max_weight < tau) return true;
+    if (!Geo::IntersectsBox(q, node.box_lo, node.box_hi)) return true;
+    if (Geo::ContainsBox(q, node.box_lo, node.box_hi)) {
+      return EmitSubtree(idx, tau, emit, stats);
+    }
+    if (node.element.weight >= tau && Problem::Matches(q, node.element)) {
+      if (!emit(node.element)) return false;
+    }
+    return VisitPrioritized(node.left, q, tau, emit, stats) &&
+           VisitPrioritized(node.right, q, tau, emit, stats);
+  }
+
+  template <typename Emit>
+  bool EmitSubtree(int32_t idx, double tau, Emit& emit,
+                   QueryStats* stats) const {
+    if (idx == kNil) return true;
+    const Node& node = nodes_[idx];
+    AddNodes(stats, 1);
+    if (node.subtree_max_weight < tau) return true;
+    if (node.element.weight >= tau) {
+      if (!emit(node.element)) return false;
+    }
+    return EmitSubtree(node.left, tau, emit, stats) &&
+           EmitSubtree(node.right, tau, emit, stats);
+  }
+
+  // Branch-and-bound on the cached subtree max weights.
+  void VisitMax(int32_t idx, const Predicate& q, const Element** best,
+                QueryStats* stats) const {
+    if (idx == kNil) return;
+    const Node& node = nodes_[idx];
+    if (*best != nullptr && node.subtree_max_weight < (*best)->weight) {
+      return;
+    }
+    AddNodes(stats, 1);
+    if (!Geo::IntersectsBox(q, node.box_lo, node.box_hi)) return;
+    if (Problem::Matches(q, node.element)) {
+      if (*best == nullptr || HeavierThan(node.element, **best)) {
+        *best = &node.element;
+      }
+    }
+    // Explore the heavier subtree first to tighten the bound early.
+    int32_t first = node.left, second = node.right;
+    if (first != kNil && second != kNil &&
+        nodes_[second].subtree_max_weight >
+            nodes_[first].subtree_max_weight) {
+      std::swap(first, second);
+    }
+    VisitMax(first, q, best, stats);
+    VisitMax(second, q, best, stats);
+  }
+
+  std::vector<Node> nodes_;
+  int32_t root_ = kNil;
+};
+
+}  // namespace topk::dominance
+
+#endif  // TOPK_DOMINANCE_KDTREE_H_

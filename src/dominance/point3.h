@@ -1,0 +1,65 @@
+// Problem definition: 3D dominance (Theorem 6).
+//
+// D is a set of weighted points in R^3; a predicate is a point
+// q = (x, y, z), matched by every element e with e.x <= x, e.y <= y and
+// e.z <= z. The paper's hotel query ("10 best-rated hotels with price
+// <= x, distance <= y, security >= z" — flip the axis to make every
+// constraint an upper bound) is this problem; examples/hotel_finder.cc
+// runs it.
+//
+// Polynomial boundedness: q(D) is determined by the rank of each query
+// coordinate among the n element coordinates — at most (n+1)^3 outcomes,
+// lambda = 3.
+
+#ifndef TOPK_DOMINANCE_POINT3_H_
+#define TOPK_DOMINANCE_POINT3_H_
+
+#include <cstdint>
+
+#include "dominance/kdtree.h"
+
+namespace topk::dominance {
+
+struct Point3 {
+  double x = 0, y = 0, z = 0;
+  double weight = 0;
+  uint64_t id = 0;
+};
+
+struct DominanceProblem {
+  using Element = Point3;
+  using Predicate = Point3;  // only x/y/z of the predicate are used
+  static constexpr double kLambda = 3.0;
+
+  static bool Matches(const Point3& q, const Point3& e) {
+    return e.x <= q.x && e.y <= q.y && e.z <= q.z;
+  }
+};
+
+struct DominanceGeo {
+  static constexpr int kDims = 3;
+  static double Coord(const Point3& e, int dim) {
+    return dim == 0 ? e.x : (dim == 1 ? e.y : e.z);
+  }
+  // The dominance region of q is the box (-inf, q]; it meets [lo, hi]
+  // iff lo <= q componentwise, and contains it iff hi <= q.
+  static bool IntersectsBox(const Point3& q, const double* lo,
+                            const double* hi) {
+    (void)hi;
+    return lo[0] <= q.x && lo[1] <= q.y && lo[2] <= q.z;
+  }
+  static bool ContainsBox(const Point3& q, const double* lo,
+                          const double* hi) {
+    (void)lo;
+    return hi[0] <= q.x && hi[1] <= q.y && hi[2] <= q.z;
+  }
+};
+
+// The Theorem 6 structures: one kd-tree serves as both the prioritized
+// and the max structure (they are the same index queried differently;
+// Theorem 2 still builds its own small sampled copies for the max role).
+using DominanceKdTree = KdTree<DominanceProblem, DominanceGeo>;
+
+}  // namespace topk::dominance
+
+#endif  // TOPK_DOMINANCE_POINT3_H_

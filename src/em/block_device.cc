@@ -1,0 +1,30 @@
+#include "em/block_device.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace topk::em {
+
+BlockDevice::BlockDevice(size_t page_size) : page_size_(page_size) {
+  TOPK_CHECK(page_size_ > 0);
+}
+
+uint64_t BlockDevice::Allocate() {
+  pages_.emplace_back(page_size_, 0);
+  return pages_.size() - 1;
+}
+
+void BlockDevice::Read(uint64_t page_id, uint8_t* out) {
+  TOPK_CHECK(page_id < pages_.size());
+  std::memcpy(out, pages_[page_id].data(), page_size_);
+  ++counters_.reads;
+}
+
+void BlockDevice::Write(uint64_t page_id, const uint8_t* data) {
+  TOPK_CHECK(page_id < pages_.size());
+  std::memcpy(pages_[page_id].data(), data, page_size_);
+  ++counters_.writes;
+}
+
+}  // namespace topk::em

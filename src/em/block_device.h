@@ -1,0 +1,56 @@
+// The external-memory model's disk (Aggarwal–Vitter [8]).
+//
+// A BlockDevice is an array of fixed-size pages with read/write
+// counters. The paper measures algorithms purely by the number of page
+// transfers; the device is therefore an in-memory simulator whose
+// counters ARE the experiment (exact, deterministic I/O counts — see
+// DESIGN.md's substitution table). Pages are raw byte buffers; typed
+// access goes through PagedVector / the EM structures.
+
+#ifndef TOPK_EM_BLOCK_DEVICE_H_
+#define TOPK_EM_BLOCK_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace topk::em {
+
+struct IoCounters {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t total() const { return reads + writes; }
+  void Reset() { *this = IoCounters(); }
+};
+
+class BlockDevice {
+ public:
+  // page_size in bytes. The paper's B (words) corresponds to
+  // page_size / 8 with 8-byte words.
+  explicit BlockDevice(size_t page_size);
+
+  size_t page_size() const { return page_size_; }
+  size_t num_pages() const { return pages_.size(); }
+
+  // Allocates a zeroed page and returns its id.
+  uint64_t Allocate();
+
+  // Copies a page into `out` (page_size bytes); counts one read.
+  void Read(uint64_t page_id, uint8_t* out);
+
+  // Copies `data` (page_size bytes) into the page; counts one write.
+  void Write(uint64_t page_id, const uint8_t* data);
+
+  const IoCounters& counters() const { return counters_; }
+  IoCounters* mutable_counters() { return &counters_; }
+  void ResetCounters() { counters_.Reset(); }
+
+ private:
+  size_t page_size_;
+  std::vector<std::vector<uint8_t>> pages_;
+  IoCounters counters_;
+};
+
+}  // namespace topk::em
+
+#endif  // TOPK_EM_BLOCK_DEVICE_H_

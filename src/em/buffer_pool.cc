@@ -1,0 +1,83 @@
+#include "em/buffer_pool.h"
+
+#include "common/check.h"
+
+namespace topk::em {
+
+BufferPool::BufferPool(BlockDevice* device, size_t capacity)
+    : device_(device), capacity_(capacity) {
+  TOPK_CHECK(device_ != nullptr);
+  TOPK_CHECK(capacity_ >= 2);  // the model requires M >= 2B
+}
+
+BufferPool::~BufferPool() { FlushAll(); }
+
+uint8_t* BufferPool::Pin(uint64_t page_id, bool mark_dirty) {
+  auto it = frames_.find(page_id);
+  if (it != frames_.end()) {
+    Frame& frame = it->second;
+    if (frame.pin_count == 0 && frame.in_lru) {
+      lru_.erase(frame.lru_it);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+    frame.dirty = frame.dirty || mark_dirty;
+    ++hits_;
+    return frame.data.data();
+  }
+  while (frames_.size() >= capacity_) Evict();
+  Frame& frame = frames_[page_id];
+  frame.data.resize(device_->page_size());
+  frame.page_id = page_id;
+  frame.pin_count = 1;
+  frame.dirty = mark_dirty;
+  frame.in_lru = false;
+  device_->Read(page_id, frame.data.data());
+  ++misses_;
+  return frame.data.data();
+}
+
+uint8_t* BufferPool::PinFresh(uint64_t page_id) {
+  TOPK_CHECK(frames_.find(page_id) == frames_.end());
+  while (frames_.size() >= capacity_) Evict();
+  Frame& frame = frames_[page_id];
+  frame.data.assign(device_->page_size(), 0);
+  frame.page_id = page_id;
+  frame.pin_count = 1;
+  frame.dirty = true;
+  frame.in_lru = false;
+  return frame.data.data();
+}
+
+void BufferPool::Unpin(uint64_t page_id) {
+  auto it = frames_.find(page_id);
+  TOPK_CHECK(it != frames_.end());
+  Frame& frame = it->second;
+  TOPK_CHECK(frame.pin_count > 0);
+  if (--frame.pin_count == 0) {
+    lru_.push_back(page_id);
+    frame.lru_it = std::prev(lru_.end());
+    frame.in_lru = true;
+  }
+}
+
+void BufferPool::Evict() {
+  TOPK_CHECK(!lru_.empty());  // all frames pinned => pool misuse
+  const uint64_t victim = lru_.front();
+  lru_.pop_front();
+  auto it = frames_.find(victim);
+  TOPK_CHECK(it != frames_.end());
+  if (it->second.dirty) device_->Write(victim, it->second.data.data());
+  frames_.erase(it);
+}
+
+void BufferPool::FlushAll() {
+  for (auto& [page_id, frame] : frames_) {
+    TOPK_CHECK(frame.pin_count == 0);
+    if (frame.dirty) device_->Write(page_id, frame.data.data());
+  }
+  frames_.clear();
+  lru_.clear();
+}
+
+}  // namespace topk::em

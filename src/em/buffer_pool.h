@@ -1,0 +1,95 @@
+// LRU buffer pool: the EM model's M words of memory.
+//
+// Holds up to `capacity` page frames (M/B in the paper's terms). Pin
+// returns a stable frame pointer; a page already resident costs no I/O
+// (that is the whole point of M >= 2B). Unpinned dirty frames are
+// written back on eviction. Eviction is strict LRU over unpinned
+// frames.
+
+#ifndef TOPK_EM_BUFFER_POOL_H_
+#define TOPK_EM_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "em/block_device.h"
+
+namespace topk::em {
+
+class BufferPool {
+ public:
+  // capacity = number of frames (the model's M / B).
+  BufferPool(BlockDevice* device, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  size_t capacity() const { return capacity_; }
+  BlockDevice* device() const { return device_; }
+
+  // Pins the page and returns its frame bytes (page_size long). The
+  // frame stays valid until the matching Unpin. mark_dirty ensures
+  // write-back on eviction.
+  uint8_t* Pin(uint64_t page_id, bool mark_dirty = false);
+
+  // Pins a freshly allocated page: installs a zeroed frame WITHOUT a
+  // device read (writing a brand-new block costs one write at eviction,
+  // not a read — the Aggarwal–Vitter accounting). Marks dirty.
+  uint8_t* PinFresh(uint64_t page_id);
+
+  void Unpin(uint64_t page_id);
+
+  // Writes back every dirty frame (counts writes) and drops all clean
+  // frames; all pins must have been released.
+  void FlushAll();
+
+  // Cache-hit statistics (model-level observability, not I/Os).
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Frame {
+    std::vector<uint8_t> data;
+    uint64_t page_id = 0;
+    int pin_count = 0;
+    bool dirty = false;
+    std::list<uint64_t>::iterator lru_it;  // valid iff pin_count == 0
+    bool in_lru = false;
+  };
+
+  void Evict();
+
+  BlockDevice* device_;
+  size_t capacity_;
+  std::unordered_map<uint64_t, Frame> frames_;
+  std::list<uint64_t> lru_;  // front = least recently used, unpinned only
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+// RAII pin.
+class PageRef {
+ public:
+  PageRef(BufferPool* pool, uint64_t page_id, bool dirty = false)
+      : pool_(pool), page_id_(page_id),
+        data_(pool->Pin(page_id, dirty)) {}
+  ~PageRef() { pool_->Unpin(page_id_); }
+
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+
+  uint8_t* data() const { return data_; }
+
+ private:
+  BufferPool* pool_;
+  uint64_t page_id_;
+  uint8_t* data_;
+};
+
+}  // namespace topk::em
+
+#endif  // TOPK_EM_BUFFER_POOL_H_

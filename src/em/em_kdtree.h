@@ -1,0 +1,291 @@
+// External-memory kd-tree: the weight-augmented kd-tree paged onto the
+// block device (a "kd-B-tree" layout).
+//
+// The in-memory tree is built first (median splits, bounding boxes,
+// subtree max weights — identical logic to dominance::KdTree), then
+// packed page by page: each page holds the top levels of a subtree, so
+// a root-to-leaf walk costs O(height / log_2(nodes_per_page)) =
+// O(log_B n) page transfers. Queries pin pages through the buffer pool
+// and traverse slots in-memory within a page.
+//
+// This gives every kd-backed problem in the library — 3D dominance,
+// circular reporting, 3D halfspaces, interval stabbing via the endpoint
+// embedding — an external-memory instantiation whose I/Os are counted
+// exactly, completing the EM story beyond the 1D structures of
+// em_range1d.h.
+
+#ifndef TOPK_EM_EM_KDTREE_H_
+#define TOPK_EM_EM_KDTREE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "core/weighted.h"
+#include "em/buffer_pool.h"
+
+namespace topk::em {
+
+template <typename Problem, typename Geo>
+class EmKdTree {
+ public:
+  using Element = typename Problem::Element;
+  using Predicate = typename Problem::Predicate;
+  static constexpr int kDims = Geo::kDims;
+
+  EmKdTree() = default;
+
+  EmKdTree(BufferPool* pool, std::vector<Element> data) : pool_(pool) {
+    static_assert(std::is_trivially_copyable_v<Element>);
+    n_ = data.size();
+    if (n_ == 0) return;
+    per_page_ = pool_->device()->page_size() / sizeof(NodeRec);
+    TOPK_CHECK(per_page_ >= 1);
+
+    // Phase 1: plain in-memory build.
+    std::vector<BuildNode> nodes;
+    nodes.reserve(n_);
+    const int32_t root = Build(&nodes, &data, 0, data.size(), 0);
+
+    // Phase 2: pack subtrees into pages, top levels first. Cross-page
+    // child pointers are patched in FIFO order; pending_child_side_
+    // entries are appended in the same order frontier entries are
+    // pushed, so patch_cursor_ consumption stays aligned across waves.
+    root_ = AllocateChunk(nodes, root);
+    while (!frontier_.empty()) {
+      std::vector<std::pair<int32_t, Slot>> frontier;
+      frontier.swap(frontier_);
+      for (const auto& [build_idx, slot] : frontier) {
+        const Slot child_root = AllocateChunk(nodes, build_idx);
+        PatchChild(slot, child_root);
+      }
+    }
+  }
+
+  size_t size() const { return n_; }
+
+  static double QueryCostBound(size_t n, size_t block_size) {
+    if (n < 2) return 1.0;
+    const double lg_b = std::log2(static_cast<double>(
+        block_size < 2 ? size_t{2} : block_size));
+    const double lg_n = std::log2(static_cast<double>(n));
+    return std::max(1.0, lg_n * lg_n / lg_b);
+  }
+
+  template <typename Emit>
+  void QueryPrioritized(const Predicate& q, double tau, Emit&& emit,
+                        QueryStats* stats = nullptr) const {
+    if (n_ == 0) return;
+    Visit(root_, q, tau, emit, stats, /*contained=*/false);
+  }
+
+  std::optional<Element> QueryMax(const Predicate& q,
+                                  QueryStats* stats = nullptr) const {
+    std::optional<Element> best;
+    if (n_ == 0) return best;
+    VisitMax(root_, q, &best, stats);
+    return best;
+  }
+
+ private:
+  struct Slot {
+    int32_t page = -1;  // index into pages_
+    int32_t index = -1; // slot within the page
+    bool valid() const { return page >= 0; }
+  };
+
+  // On-page node record (POD).
+  struct NodeRec {
+    Element element;
+    double box_lo[kDims];
+    double box_hi[kDims];
+    double subtree_max_weight;
+    Slot child[2];
+  };
+
+  struct BuildNode {
+    Element element;
+    double box_lo[kDims];
+    double box_hi[kDims];
+    double subtree_max_weight;
+    int32_t left = -1, right = -1;
+  };
+
+  int32_t Build(std::vector<BuildNode>* nodes, std::vector<Element>* data,
+                size_t lo, size_t hi, int depth) {
+    if (lo >= hi) return -1;
+    const int dim = depth % kDims;
+    const size_t mid = lo + (hi - lo) / 2;
+    std::nth_element(data->begin() + lo, data->begin() + mid,
+                     data->begin() + hi,
+                     [dim](const Element& a, const Element& b) {
+                       return Geo::Coord(a, dim) < Geo::Coord(b, dim);
+                     });
+    const int32_t idx = static_cast<int32_t>(nodes->size());
+    nodes->push_back(BuildNode{});
+    (*nodes)[idx].element = (*data)[mid];
+    const int32_t l = Build(nodes, data, lo, mid, depth + 1);
+    const int32_t r = Build(nodes, data, mid + 1, hi, depth + 1);
+    BuildNode& node = (*nodes)[idx];
+    node.left = l;
+    node.right = r;
+    for (int d = 0; d < kDims; ++d) {
+      node.box_lo[d] = node.box_hi[d] = Geo::Coord(node.element, d);
+    }
+    node.subtree_max_weight = node.element.weight;
+    for (int32_t child : {l, r}) {
+      if (child < 0) continue;
+      const BuildNode& c = (*nodes)[child];
+      for (int d = 0; d < kDims; ++d) {
+        node.box_lo[d] = std::min(node.box_lo[d], c.box_lo[d]);
+        node.box_hi[d] = std::max(node.box_hi[d], c.box_hi[d]);
+      }
+      node.subtree_max_weight =
+          std::max(node.subtree_max_weight, c.subtree_max_weight);
+    }
+    return idx;
+  }
+
+  // Takes up to per_page_ nodes BFS-first from the subtree rooted at
+  // `build_root`, writes them into one fresh page, and queues subtree
+  // roots that did not fit. Returns the slot of build_root.
+  Slot AllocateChunk(const std::vector<BuildNode>& nodes,
+                     int32_t build_root) {
+    const uint64_t page_id = pool_->device()->Allocate();
+    const int32_t page_index = static_cast<int32_t>(pages_.size());
+    pages_.push_back(page_id);
+
+    std::vector<int32_t> taken;  // build indices, BFS order
+    taken.push_back(build_root);
+    for (size_t head = 0;
+         head < taken.size() && taken.size() < per_page_; ++head) {
+      for (int32_t child : {nodes[taken[head]].left,
+                            nodes[taken[head]].right}) {
+        if (child >= 0 && taken.size() < per_page_) taken.push_back(child);
+      }
+    }
+    // Map build index -> slot within this page.
+    std::vector<std::pair<int32_t, int32_t>> slot_of(taken.size());
+    for (size_t i = 0; i < taken.size(); ++i) {
+      slot_of[i] = {taken[i], static_cast<int32_t>(i)};
+    }
+    auto find_slot = [&](int32_t build_idx) -> int32_t {
+      for (const auto& [b, s] : slot_of) {
+        if (b == build_idx) return s;
+      }
+      return -1;
+    };
+
+    uint8_t* frame = pool_->PinFresh(page_id);
+    for (size_t i = 0; i < taken.size(); ++i) {
+      const BuildNode& src = nodes[taken[i]];
+      NodeRec rec{};
+      rec.element = src.element;
+      std::memcpy(rec.box_lo, src.box_lo, sizeof(rec.box_lo));
+      std::memcpy(rec.box_hi, src.box_hi, sizeof(rec.box_hi));
+      rec.subtree_max_weight = src.subtree_max_weight;
+      for (int c = 0; c < 2; ++c) {
+        const int32_t child = c == 0 ? src.left : src.right;
+        if (child < 0) {
+          rec.child[c] = Slot{};
+        } else {
+          const int32_t s = find_slot(child);
+          if (s >= 0) {
+            rec.child[c] = Slot{page_index, s};
+          } else {
+            // Crosses a page boundary: resolved when the child's chunk
+            // is allocated (frontier_), marked unresolved for now.
+            rec.child[c] = Slot{-2, -2};
+            frontier_.push_back(
+                {child, Slot{page_index, static_cast<int32_t>(i)}});
+            pending_child_side_.push_back(c);
+          }
+        }
+      }
+      std::memcpy(frame + i * sizeof(NodeRec), &rec, sizeof(NodeRec));
+    }
+    pool_->Unpin(page_id);
+    return Slot{page_index, 0};
+  }
+
+  // Rewrites the recorded parent slot's child pointer once the child's
+  // page exists. Order of frontier_ and pending_child_side_ match.
+  void PatchChild(const Slot& parent, const Slot& child_root) {
+    PageRef ref(pool_, pages_[parent.page], /*dirty=*/true);
+    NodeRec rec;
+    std::memcpy(&rec, ref.data() + parent.index * sizeof(NodeRec),
+                sizeof(NodeRec));
+    const int side = pending_child_side_[patch_cursor_++];
+    TOPK_DCHECK(rec.child[side].page == -2);
+    rec.child[side] = child_root;
+    std::memcpy(ref.data() + parent.index * sizeof(NodeRec), &rec,
+                sizeof(NodeRec));
+  }
+
+  NodeRec Load(const Slot& slot, QueryStats* stats) const {
+    AddNodes(stats, 1);
+    PageRef ref(pool_, pages_[slot.page]);
+    NodeRec rec;
+    std::memcpy(&rec, ref.data() + slot.index * sizeof(NodeRec),
+                sizeof(NodeRec));
+    return rec;
+  }
+
+  template <typename Emit>
+  bool Visit(const Slot& slot, const Predicate& q, double tau, Emit& emit,
+             QueryStats* stats, bool contained) const {
+    if (!slot.valid()) return true;
+    const NodeRec node = Load(slot, stats);
+    if (node.subtree_max_weight < tau) return true;
+    bool now_contained = contained;
+    if (!contained) {
+      if (!Geo::IntersectsBox(q, node.box_lo, node.box_hi)) return true;
+      now_contained = Geo::ContainsBox(q, node.box_lo, node.box_hi);
+    }
+    if (node.element.weight >= tau &&
+        (now_contained || Problem::Matches(q, node.element))) {
+      if (!emit(node.element)) return false;
+    }
+    return Visit(node.child[0], q, tau, emit, stats, now_contained) &&
+           Visit(node.child[1], q, tau, emit, stats, now_contained);
+  }
+
+  void VisitMax(const Slot& slot, const Predicate& q,
+                std::optional<Element>* best, QueryStats* stats) const {
+    if (!slot.valid()) return;
+    const NodeRec node = Load(slot, stats);
+    if (best->has_value() && node.subtree_max_weight < (*best)->weight) {
+      return;
+    }
+    if (!Geo::IntersectsBox(q, node.box_lo, node.box_hi)) return;
+    if (Problem::Matches(q, node.element)) {
+      if (!best->has_value() || HeavierThan(node.element, **best)) {
+        *best = node.element;
+      }
+    }
+    VisitMax(node.child[0], q, best, stats);
+    VisitMax(node.child[1], q, best, stats);
+  }
+
+  BufferPool* pool_ = nullptr;
+  size_t n_ = 0;
+  size_t per_page_ = 1;
+  std::vector<uint64_t> pages_;
+  // Build-time queues: subtree roots awaiting their own chunk, plus
+  // which child side of the recorded parent slot they patch.
+  std::vector<std::pair<int32_t, Slot>> frontier_;
+  std::vector<int> pending_child_side_;
+  size_t patch_cursor_ = 0;
+  Slot root_;
+};
+
+}  // namespace topk::em
+
+#endif  // TOPK_EM_EM_KDTREE_H_

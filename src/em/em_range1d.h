@@ -1,0 +1,367 @@
+// External-memory structures for 1D range reporting, measured in real
+// page transfers through BlockDevice/BufferPool.
+//
+//   * EmBPlusTree — bulk-loaded static B+-tree on x with a max-weight
+//     augmentation per child pointer. Range reporting costs
+//     O(log_B n + t/B) I/Os; range max costs O(log_B n). Serves as the
+//     EM max structure (Theorem 2's Q_max = O(log_B n)).
+//   * EmRange1dPrioritized — the paper's Section 5.5 construction
+//     adapted to 1D: a shallow fanout-f tree on the *weights*
+//     (f = sqrt(n / B) chunks of weight-contiguous points), each chunk
+//     carrying an EmBPlusTree on x. A prioritized query decomposes
+//     {w >= tau} into full chunks (x-range queries) plus one partial
+//     chunk (a paged scan). Q_pri(n) = O(sqrt(n/B) * log_B n + t/B)
+//     I/Os — deliberately polynomial, which is precisely the regime
+//     where Theorem 1 promises Q_top = O(Q_pri) with *no* blow-up
+//     (second remark under Theorem 1); experiment E12 validates that.
+
+#ifndef TOPK_EM_EM_RANGE1D_H_
+#define TOPK_EM_EM_RANGE1D_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "core/weighted.h"
+#include "em/paged_array.h"
+#include "range1d/point1d.h"
+
+namespace topk::em {
+
+// Static B+-tree over points sorted by x. Level 0 = leaf pages of
+// points; level L+1 has one Entry per level-L page: the page's first x
+// plus its heaviest element.
+class EmBPlusTree {
+ public:
+  using Element = range1d::Point1D;
+  using Predicate = range1d::Range1D;
+
+  EmBPlusTree() = default;
+
+  EmBPlusTree(BufferPool* pool, std::vector<Element> data) : pool_(pool) {
+    std::sort(data.begin(), data.end(),
+              [](const Element& a, const Element& b) {
+                if (a.x != b.x) return a.x < b.x;
+                return a.id < b.id;
+              });
+    n_ = data.size();
+    leaves_ = PagedArray<Element>(pool_, data);
+    BuildLevels();
+  }
+
+  // Bulk load from an already x-sorted paged array (e.g. the output of
+  // em::ExternalSort) — the leaves are adopted without another copy and
+  // the summary levels are built with one counted scan.
+  EmBPlusTree(BufferPool* pool, PagedArray<Element> sorted_by_x)
+      : pool_(pool), n_(sorted_by_x.size()),
+        leaves_(std::move(sorted_by_x)) {
+    BuildLevels();
+  }
+
+  size_t size() const { return n_; }
+
+  static double QueryCostBound(size_t n, size_t block_size) {
+    const double b = static_cast<double>(block_size < 2 ? 2 : block_size);
+    if (n < 2) return 1.0;
+    return std::max(1.0, std::log2(static_cast<double>(n)) / std::log2(b));
+  }
+
+  // All elements with x in [q.lo, q.hi]: O(log_B n + t/B) I/Os.
+  template <typename Emit>
+  void RangeReport(const Predicate& q, Emit&& emit,
+                   QueryStats* stats = nullptr) const {
+    if (n_ == 0 || q.lo > q.hi) return;
+    const size_t start = LowerBound(q.lo);
+    AddNodes(stats, levels_.size() + 1);
+    bool stop = false;
+    leaves_.ForRange(start, n_, [&](const Element& e) {
+      if (e.x > q.hi) {
+        stop = true;
+        return false;
+      }
+      AddNodes(stats, 1);
+      return emit(e);
+    });
+    (void)stop;
+  }
+
+  // Heaviest element with x in [q.lo, q.hi]: O(log_B n) I/Os via the
+  // per-child max augmentation.
+  std::optional<Element> QueryMax(const Predicate& q,
+                                  QueryStats* stats = nullptr) const {
+    if (n_ == 0 || q.lo > q.hi) return std::nullopt;
+    // Canonical decomposition over leaf-page indexes: pages fully inside
+    // (first.x >= lo and next page's first.x <= hi... certified via the
+    // index range [first_full, last_full)) use their cached max; the two
+    // boundary pages are scanned.
+    const size_t start = LowerBound(q.lo);
+    const size_t end = UpperBound(q.hi);  // exclusive
+    if (start >= end) return std::nullopt;
+    AddNodes(stats, 2 * levels_.size() + 2);
+    std::optional<Element> best;
+    auto consider = [&best](const Element& e) {
+      if (!best.has_value() || HeavierThan(e, *best)) best = e;
+    };
+    const size_t per = leaves_.per_page();
+    const size_t first_page = start / per;
+    const size_t last_page = (end - 1) / per;
+    if (first_page == last_page) {
+      leaves_.ForRange(start, end, [&](const Element& e) {
+        consider(e);
+        return true;
+      });
+      return best;
+    }
+    // Boundary pages scanned element-wise.
+    leaves_.ForRange(start, (first_page + 1) * per, [&](const Element& e) {
+      consider(e);
+      return true;
+    });
+    leaves_.ForRange(last_page * per, end, [&](const Element& e) {
+      consider(e);
+      return true;
+    });
+    // Interior pages: use level-0 entries' cached maxima, recursing up
+    // through coarser levels so the I/O count stays O(log_B n).
+    MaxOverPages(first_page + 1, last_page, &best, stats);
+    return best;
+  }
+
+  // Index of the first element with x >= v (O(log_B n) I/Os).
+  size_t LowerBound(double v) const { return Bound(v, /*strict=*/false); }
+  // Index one past the last element with x <= v.
+  size_t UpperBound(double v) const { return Bound(v, /*strict=*/true); }
+
+  template <typename Emit>
+  void ScanAll(Emit&& emit) const {
+    leaves_.ForRange(0, n_, emit);
+  }
+
+ private:
+  struct Entry {
+    double min_x;
+    Element max_elem;
+  };
+
+  void BuildLevels() {
+    std::vector<Entry> entries = SummarizeLeaves();
+    while (!entries.empty()) {
+      levels_.emplace_back(pool_, entries);
+      if (entries.size() <= levels_.back().per_page()) break;
+      entries = SummarizeEntries(entries, levels_.back().per_page());
+    }
+  }
+
+  // One counted pass over the leaf pages.
+  std::vector<Entry> SummarizeLeaves() {
+    std::vector<Entry> entries;
+    const size_t per = leaves_.per_page();
+    size_t i = 0;
+    leaves_.ForRange(0, n_, [&](const Element& e) {
+      if (i % per == 0) {
+        entries.push_back(Entry{e.x, e});
+      } else if (HeavierThan(e, entries.back().max_elem)) {
+        entries.back().max_elem = e;
+      }
+      ++i;
+      return true;
+    });
+    return entries;
+  }
+
+  static std::vector<Entry> SummarizeEntries(const std::vector<Entry>& in,
+                                             size_t per) {
+    std::vector<Entry> out;
+    for (size_t begin = 0; begin < in.size(); begin += per) {
+      const size_t end = std::min(in.size(), begin + per);
+      Entry e = in[begin];
+      for (size_t i = begin + 1; i < end; ++i) {
+        if (HeavierThan(in[i].max_elem, e.max_elem)) e.max_elem = in[i].max_elem;
+      }
+      out.push_back(e);
+    }
+    return out;
+  }
+
+  // Binary search over leaf elements. Descends the entry levels (one
+  // page per level), then finishes inside the leaf page.
+  size_t Bound(double v, bool strict) const {
+    if (n_ == 0) return 0;
+    // Range of candidate level-(L) entries narrows level by level.
+    size_t lo = 0, hi = levels_.empty() ? 1 : levels_.back().size();
+    for (size_t li = levels_.size(); li-- > 0;) {
+      const PagedArray<Entry>& level = levels_[li];
+      // [lo, hi) indexes entries at this level; find the last entry with
+      // min_x <= v (or < v when strict is false? — see below), then
+      // expand to the next finer level.
+      size_t child = lo;
+      level.ForRange(lo, hi, [&](const Entry& e) {
+        const bool before = strict ? (e.min_x <= v) : (e.min_x < v);
+        if (before) {
+          ++child;
+          return true;
+        }
+        return false;
+      });
+      if (child > lo) --child;  // last candidate entry
+      if (li == 0) {
+        // child = leaf page index.
+        const size_t per = leaves_.per_page();
+        const size_t begin = child * per;
+        const size_t end = std::min(n_, begin + per);
+        size_t idx = begin;
+        leaves_.ForRange(begin, end, [&](const Element& e) {
+          const bool before = strict ? (e.x <= v) : (e.x < v);
+          if (before) {
+            ++idx;
+            return true;
+          }
+          return false;
+        });
+        return idx;
+      }
+      const size_t per_below = (li >= 2)
+                                   ? levels_[li - 1].per_page()
+                                   : levels_[0].per_page();
+      lo = child * per_below;
+      hi = std::min(levels_[li - 1].size(), lo + per_below);
+      (void)per_below;
+    }
+    TOPK_CHECK(false);
+    return 0;
+  }
+
+  // Max over leaf pages [page_lo, page_hi) using cached entry maxima.
+  // Classic canonical climb: at each level take the unaligned head and
+  // tail entries directly (each within one page => O(1) I/Os per level)
+  // and pass the aligned middle up to the next coarser level, so the
+  // total is O(log_B n) I/Os regardless of the range width.
+  void MaxOverPages(size_t page_lo, size_t page_hi,
+                    std::optional<Element>* best, QueryStats* stats) const {
+    size_t lo = page_lo, hi = page_hi;
+    for (size_t k = 0; k < levels_.size() && lo < hi; ++k) {
+      AddNodes(stats, 2);
+      if (k + 1 >= levels_.size()) {
+        ConsiderEntries(k, lo, hi, best);  // top level: single page
+        return;
+      }
+      const size_t g = levels_[k].per_page();  // entries per group above
+      const size_t head_end = std::min(hi, ((lo + g - 1) / g) * g);
+      ConsiderEntries(k, lo, head_end, best);
+      const size_t tail_begin = std::max(head_end, (hi / g) * g);
+      ConsiderEntries(k, tail_begin, hi, best);
+      lo = (head_end + g - 1) / g;
+      hi = tail_begin / g;
+    }
+  }
+
+  void ConsiderEntries(size_t level, size_t a, size_t b,
+                       std::optional<Element>* best) const {
+    if (a >= b) return;
+    levels_[level].ForRange(a, b, [&](const Entry& e) {
+      if (!best->has_value() || HeavierThan(e.max_elem, **best)) {
+        *best = e.max_elem;
+      }
+      return true;
+    });
+  }
+
+  BufferPool* pool_ = nullptr;
+  size_t n_ = 0;
+  PagedArray<Element> leaves_;
+  std::vector<PagedArray<Entry>> levels_;  // [0] = leaf summaries
+};
+
+// Section 5.5-style prioritized structure: fanout-f weight tree of
+// x-B+-trees.
+class EmRange1dPrioritized {
+ public:
+  using Element = range1d::Point1D;
+  using Predicate = range1d::Range1D;
+
+  EmRange1dPrioritized() = default;
+
+  EmRange1dPrioritized(BufferPool* pool, std::vector<Element> data)
+      : pool_(pool), n_(data.size()) {
+    std::sort(data.begin(), data.end(), ByWeightDesc());
+    by_weight_ = PagedArray<Element>(pool_, data);
+    const size_t per = by_weight_.per_page();
+    // Chunk size ~ sqrt(n * per): #chunks = sqrt(n / per) = f.
+    chunk_size_ = std::max<size_t>(
+        per, static_cast<size_t>(std::ceil(std::sqrt(
+                 static_cast<double>(n_) * static_cast<double>(per)))));
+    for (size_t begin = 0; begin < n_; begin += chunk_size_) {
+      const size_t end = std::min(n_, begin + chunk_size_);
+      chunk_min_weight_.push_back(data[end - 1].weight);
+      chunks_.emplace_back(pool_, std::vector<Element>(data.begin() + begin,
+                                                       data.begin() + end));
+    }
+  }
+
+  size_t size() const { return n_; }
+
+  static double QueryCostBound(size_t n, size_t block_size) {
+    const double b = static_cast<double>(block_size < 2 ? 2 : block_size);
+    if (n < 2) return 1.0;
+    const double f = std::sqrt(static_cast<double>(n) / b);
+    return std::max(1.0, f * std::max(1.0, std::log2(static_cast<double>(n)) /
+                                               std::log2(b)));
+  }
+
+  template <typename Emit>
+  void QueryPrioritized(const Predicate& q, double tau, Emit&& emit,
+                        QueryStats* stats = nullptr) const {
+    if (n_ == 0) return;
+    // Chunks are weight-contiguous and descending: chunk i holds ranks
+    // [i*c, (i+1)*c). Chunks with min weight >= tau are fully inside the
+    // prefix; the first chunk with min weight < tau is partial; later
+    // chunks are disjoint from the prefix only below the partial chunk's
+    // boundary — the paged scan of the partial chunk stops at the first
+    // weight < tau (weight-descending layout).
+    size_t i = 0;
+    bool keep_going = true;
+    for (; i < chunks_.size() && chunk_min_weight_[i] >= tau; ++i) {
+      chunks_[i].RangeReport(
+          q,
+          [&](const Element& e) { return keep_going = emit(e); },
+          stats);
+      if (!keep_going) return;
+    }
+    if (i < chunks_.size()) {
+      // Partial chunk: scan its weight-descending pages, filter by x.
+      const size_t begin = i * chunk_size_;
+      const size_t end = std::min(n_, begin + chunk_size_);
+      by_weight_.ForRange(begin, end, [&](const Element& e) {
+        AddNodes(stats, 1);
+        if (!MeetsThreshold(e, tau)) return false;  // prefix exhausted
+        if (range1d::Range1DProblem::Matches(q, e)) {
+          return keep_going = emit(e);
+        }
+        return true;
+      });
+    }
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t n_ = 0;
+  size_t chunk_size_ = 1;
+  PagedArray<Element> by_weight_;       // all points, weight-descending
+  std::vector<double> chunk_min_weight_;
+  std::vector<EmBPlusTree> chunks_;     // per chunk, indexed by x
+};
+
+// The EM max structure is the augmented B+-tree with the Problem-facing
+// QueryMax signature it already has; alias for readability.
+using EmRange1dMax = EmBPlusTree;
+
+}  // namespace topk::em
+
+#endif  // TOPK_EM_EM_RANGE1D_H_

@@ -1,0 +1,128 @@
+// External merge sort (Aggarwal & Vitter [8]): sorting n records with
+// M words of memory and B-word blocks in O((n/B) log_{M/B}(n/B)) I/Os.
+//
+// The EM model's foundational primitive — the paper cites [8] for the
+// model itself. Run formation reads M-sized chunks, sorts in memory and
+// writes sorted runs; each merge pass (M/B − 1)-way-merges runs while
+// buffering one block per input run and one output block, streaming the
+// result through PagedArrayBuilder. All I/Os flow through the
+// BlockDevice counters, so tests can assert the pass structure exactly.
+
+#ifndef TOPK_EM_EXTERNAL_SORT_H_
+#define TOPK_EM_EXTERNAL_SORT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "em/paged_array.h"
+
+namespace topk::em {
+
+// (M/B − 1)-way merge of runs[group, group_end), one block of working
+// memory per input run plus one output block.
+template <typename T, typename Less>
+PagedArray<T> MergeRuns(BufferPool* pool,
+                        const std::vector<PagedArray<T>>& runs, size_t group,
+                        size_t group_end, Less less) {
+  struct Entry {
+    T value;
+    size_t run;    // index within the group
+    size_t index;  // absolute index within the run
+  };
+  auto greater = [&less](const Entry& a, const Entry& b) {
+    return less(b.value, a.value);
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(greater)> heap(
+      greater);
+
+  const size_t width = group_end - group;
+  std::vector<std::vector<T>> buffer(width);
+  std::vector<size_t> buffer_base(width, 0);
+  auto refill = [&](size_t r, size_t from) {
+    std::vector<T>& buf = buffer[r];
+    buf.clear();
+    buffer_base[r] = from;
+    const PagedArray<T>& run = runs[group + r];
+    const size_t end = std::min(run.size(), from + run.per_page());
+    run.ForRange(from, end, [&buf](const T& item) {
+      buf.push_back(item);
+      return true;
+    });
+  };
+  for (size_t r = 0; r < width; ++r) {
+    refill(r, 0);
+    if (!buffer[r].empty()) heap.push(Entry{buffer[r][0], r, 0});
+  }
+
+  PagedArrayBuilder<T> out(pool);
+  while (!heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    out.Append(top.value);
+    const size_t next = top.index + 1;
+    const PagedArray<T>& run = runs[group + top.run];
+    if (next < run.size()) {
+      if (next >= buffer_base[top.run] + buffer[top.run].size()) {
+        refill(top.run, next);
+      }
+      heap.push(
+          Entry{buffer[top.run][next - buffer_base[top.run]], top.run, next});
+    }
+  }
+  return std::move(out).Finish();
+}
+
+// Sorts `input` by `less` using ~memory_words of working memory
+// (clamped to >= 2 blocks), returning a sorted PagedArray.
+template <typename T, typename Less>
+PagedArray<T> ExternalSort(BufferPool* pool, const PagedArray<T>& input,
+                           size_t memory_words, Less less) {
+  const size_t per_page = input.per_page() == 0 ? 1 : input.per_page();
+  const size_t words_per_item = sizeof(T) < 8 ? 1 : sizeof(T) / 8;
+  size_t mem_items = memory_words / words_per_item;
+  if (mem_items < 2 * per_page) mem_items = 2 * per_page;
+  const size_t fan_in = std::max<size_t>(2, mem_items / per_page - 1);
+
+  // Run formation.
+  std::vector<PagedArray<T>> runs;
+  for (size_t begin = 0; begin < input.size(); begin += mem_items) {
+    const size_t end = std::min(input.size(), begin + mem_items);
+    std::vector<T> chunk;
+    chunk.reserve(end - begin);
+    input.ForRange(begin, end, [&chunk](const T& item) {
+      chunk.push_back(item);
+      return true;
+    });
+    std::sort(chunk.begin(), chunk.end(), less);
+    runs.emplace_back(pool, chunk);
+  }
+  if (runs.empty()) return PagedArray<T>(pool, std::vector<T>{});
+
+  // Merge passes.
+  while (runs.size() > 1) {
+    std::vector<PagedArray<T>> next;
+    for (size_t group = 0; group < runs.size(); group += fan_in) {
+      const size_t group_end = std::min(runs.size(), group + fan_in);
+      next.push_back(MergeRuns(pool, runs, group, group_end, less));
+    }
+    runs = std::move(next);
+  }
+  return std::move(runs.front());
+}
+
+// Convenience: stages a plain vector onto the device and sorts it there
+// (used to bulk-load EM structures with honest I/O accounting).
+template <typename T, typename Less>
+PagedArray<T> ExternalSortVector(BufferPool* pool, const std::vector<T>& in,
+                                 size_t memory_words, Less less) {
+  PagedArray<T> staged(pool, in);
+  return ExternalSort(pool, staged, memory_words, less);
+}
+
+}  // namespace topk::em
+
+#endif  // TOPK_EM_EXTERNAL_SORT_H_

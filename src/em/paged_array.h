@@ -1,0 +1,140 @@
+// A fixed-size typed array laid out across device pages.
+//
+// T must be trivially copyable. Elements are packed page_size/sizeof(T)
+// per page; access pins pages through the buffer pool, so sequential
+// scans cost ceil(n / per_page) I/Os on a cold pool — the EM model's
+// O(n/B).
+
+#ifndef TOPK_EM_PAGED_ARRAY_H_
+#define TOPK_EM_PAGED_ARRAY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.h"
+#include "em/buffer_pool.h"
+
+namespace topk::em {
+
+template <typename T>
+class PagedArray {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  PagedArray() = default;
+
+  PagedArray(BufferPool* pool, const std::vector<T>& data)
+      : pool_(pool), size_(data.size()) {
+    per_page_ = pool_->device()->page_size() / sizeof(T);
+    TOPK_CHECK(per_page_ >= 1);
+    const size_t num_pages = (size_ + per_page_ - 1) / per_page_;
+    pages_.reserve(num_pages);
+    for (size_t p = 0; p < num_pages; ++p) {
+      const uint64_t page_id = pool_->device()->Allocate();
+      pages_.push_back(page_id);
+      uint8_t* frame = pool_->PinFresh(page_id);
+      const size_t begin = p * per_page_;
+      const size_t count = std::min(per_page_, size_ - begin);
+      std::memcpy(frame, data.data() + begin, count * sizeof(T));
+      pool_->Unpin(page_id);
+    }
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t per_page() const { return per_page_; }
+  size_t num_pages() const { return pages_.size(); }
+
+  // Reads element i (pins one page).
+  T Get(size_t i) const {
+    TOPK_DCHECK(i < size_);
+    PageRef ref(pool_, pages_[i / per_page_]);
+    T out;
+    std::memcpy(&out, ref.data() + (i % per_page_) * sizeof(T), sizeof(T));
+    return out;
+  }
+
+  // Visits elements [begin, end) page at a time; visit(const T&) returns
+  // false to stop.
+  template <typename Visit>
+  void ForRange(size_t begin, size_t end, Visit&& visit) const {
+    if (end > size_) end = size_;
+    while (begin < end) {
+      const size_t page = begin / per_page_;
+      const size_t page_end = std::min(end, (page + 1) * per_page_);
+      PageRef ref(pool_, pages_[page]);
+      for (size_t i = begin; i < page_end; ++i) {
+        T item;
+        std::memcpy(&item, ref.data() + (i % per_page_) * sizeof(T),
+                    sizeof(T));
+        if (!visit(item)) return;
+      }
+      begin = page_end;
+    }
+  }
+
+ private:
+  template <typename U>
+  friend class PagedArrayBuilder;
+
+  PagedArray(BufferPool* pool, size_t size, size_t per_page,
+             std::vector<uint64_t> pages)
+      : pool_(pool),
+        size_(size),
+        per_page_(per_page),
+        pages_(std::move(pages)) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t size_ = 0;
+  size_t per_page_ = 1;
+  std::vector<uint64_t> pages_;
+};
+
+// Streaming construction: append elements one at a time; full pages are
+// written to the device immediately, so working memory stays O(B).
+template <typename T>
+class PagedArrayBuilder {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  explicit PagedArrayBuilder(BufferPool* pool) : pool_(pool) {
+    per_page_ = pool_->device()->page_size() / sizeof(T);
+    TOPK_CHECK(per_page_ >= 1);
+    buffer_.reserve(per_page_);
+  }
+
+  void Append(const T& item) {
+    buffer_.push_back(item);
+    ++size_;
+    if (buffer_.size() == per_page_) Flush();
+  }
+
+  // Finalizes and returns the array; the builder is spent afterwards.
+  PagedArray<T> Finish() && {
+    if (!buffer_.empty()) Flush();
+    return PagedArray<T>(pool_, size_, per_page_, std::move(pages_));
+  }
+
+ private:
+  void Flush() {
+    const uint64_t page_id = pool_->device()->Allocate();
+    pages_.push_back(page_id);
+    uint8_t* frame = pool_->PinFresh(page_id);
+    std::memcpy(frame, buffer_.data(), buffer_.size() * sizeof(T));
+    pool_->Unpin(page_id);
+    buffer_.clear();
+  }
+
+  BufferPool* pool_;
+  size_t per_page_ = 1;
+  size_t size_ = 0;
+  std::vector<T> buffer_;
+  std::vector<uint64_t> pages_;
+};
+
+}  // namespace topk::em
+
+#endif  // TOPK_EM_PAGED_ARRAY_H_

@@ -1,0 +1,161 @@
+// 2D stabbing max with fractional cascading — the paper's Section 5.2
+// construction *including* the [14] cascading step it invokes to drop
+// the query cost from O(log^2 n) to O(log n).
+//
+// Same shape as EnclosureMax (x-segment tree of 1D slab-max structures)
+// but with an explicit node tree whose per-node y-endpoint catalogs are
+// fractionally cascaded: one binary search at the root, then O(1) per
+// node on the descent to q.x's leaf slab. Space is ~2x the per-node
+// catalogs (the augmented copies); bench_cascade measures the trade.
+
+#ifndef TOPK_ENCLOSURE_ENCLOSURE_MAX_FC_H_
+#define TOPK_ENCLOSURE_ENCLOSURE_MAX_FC_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/cascade.h"
+#include "common/stats.h"
+#include "core/weighted.h"
+#include "enclosure/enclosure_structures.h"
+#include "enclosure/rect.h"
+#include "interval/stab_max.h"
+
+namespace topk::enclosure {
+
+class EnclosureMaxCascading {
+ public:
+  using Element = Rect;
+  using Predicate = Point2;
+
+  explicit EnclosureMaxCascading(std::vector<Rect> data)
+      : size_(data.size()) {
+    coords_.reserve(2 * data.size());
+    for (const Rect& e : data) {
+      coords_.push_back(e.x1);
+      coords_.push_back(e.x2);
+    }
+    std::sort(coords_.begin(), coords_.end());
+    coords_.erase(std::unique(coords_.begin(), coords_.end()),
+                  coords_.end());
+    num_slabs_ = 2 * coords_.size() + 1;
+
+    root_ = BuildSkeleton(0, num_slabs_);
+    std::vector<std::vector<Rect>> buckets(nodes_.size());
+    for (const Rect& e : data) {
+      if (e.x1 > e.x2 || e.y1 > e.y2) continue;
+      const size_t a = 2 * CoordIndex(e.x1) + 1;
+      const size_t b = 2 * CoordIndex(e.x2) + 1;
+      Assign(root_, a, b, e, &buckets);
+    }
+    std::vector<std::vector<double>> catalogs(nodes_.size());
+    std::vector<std::array<int32_t, 2>> children(nodes_.size());
+    inners_.reserve(nodes_.size());
+    for (size_t v = 0; v < nodes_.size(); ++v) {
+      inners_.emplace_back(std::move(buckets[v]));
+      catalogs[v] = inners_.back().coords();
+      children[v] = nodes_[v].children;
+    }
+    cascade_ = FractionalCascading(catalogs, children, root_);
+  }
+
+  size_t size() const { return size_; }
+
+  static double QueryCostBound(size_t n, size_t block_size) {
+    // One log, thanks to the cascading.
+    if (n < 2) return 1.0;
+    const double lg_b = std::log2(static_cast<double>(
+        block_size < 2 ? size_t{2} : block_size));
+    return std::max(1.0, std::log2(static_cast<double>(n)) / lg_b);
+  }
+
+  std::optional<Rect> QueryMax(const Point2& q,
+                               QueryStats* stats = nullptr) const {
+    if (coords_.empty()) return std::nullopt;
+    std::optional<Rect> best;
+    const size_t slab = SlabOf(q.x);
+    FractionalCascading::Cursor cursor = cascade_.Start(q.y);
+    int32_t v = root_;
+    while (v >= 0) {
+      AddNodes(stats, 1);
+      const YMax& inner = inners_[v];
+      const size_t j = cascade_.NativeLowerBound(cursor);
+      const std::vector<double>& ys = inner.coords();
+      const bool exact = j < ys.size() && ys[j] == q.y;
+      std::optional<Rect> hit = inner.MaxAtCoordIndex(j, exact);
+      if (hit.has_value() &&
+          (!best.has_value() || HeavierThan(*hit, *best))) {
+        best = *hit;
+      }
+      const SkeletonNode& node = nodes_[v];
+      if (node.hi - node.lo == 1) break;
+      const size_t mid = node.lo + (node.hi - node.lo) / 2;
+      const int child = slab < mid ? 0 : 1;
+      cursor = cascade_.Descend(cursor, child, q.y);
+      v = node.children[child];
+    }
+    return best;
+  }
+
+ private:
+  using YMax = interval::SlabMaxT<Rect, RectYSpan>;
+
+  struct SkeletonNode {
+    size_t lo, hi;  // slab range [lo, hi)
+    std::array<int32_t, 2> children{-1, -1};
+  };
+
+  int32_t BuildSkeleton(size_t lo, size_t hi) {
+    const int32_t idx = static_cast<int32_t>(nodes_.size());
+    nodes_.push_back(SkeletonNode{lo, hi, {-1, -1}});
+    if (hi - lo > 1) {
+      const size_t mid = lo + (hi - lo) / 2;
+      const int32_t l = BuildSkeleton(lo, mid);
+      const int32_t r = BuildSkeleton(mid, hi);
+      nodes_[idx].children = {l, r};
+    }
+    return idx;
+  }
+
+  void Assign(int32_t v, size_t a, size_t b, const Rect& e,
+              std::vector<std::vector<Rect>>* buckets) {
+    const SkeletonNode& node = nodes_[v];
+    if (b < node.lo || a >= node.hi) return;
+    if (a <= node.lo && node.hi - 1 <= b) {
+      (*buckets)[v].push_back(e);
+      return;
+    }
+    Assign(node.children[0], a, b, e, buckets);
+    Assign(node.children[1], a, b, e, buckets);
+  }
+
+  size_t CoordIndex(double v) const {
+    return static_cast<size_t>(
+        std::lower_bound(coords_.begin(), coords_.end(), v) -
+        coords_.begin());
+  }
+
+  size_t SlabOf(double x) const {
+    const size_t j = CoordIndex(x);
+    if (j < coords_.size() && coords_[j] == x) return 2 * j + 1;
+    return 2 * j;
+  }
+
+  size_t size_;
+  std::vector<double> coords_;  // sorted unique x endpoints
+  size_t num_slabs_ = 1;
+  std::vector<SkeletonNode> nodes_;
+  std::vector<YMax> inners_;
+  FractionalCascading cascade_;
+  int32_t root_ = -1;
+};
+
+}  // namespace topk::enclosure
+
+#endif  // TOPK_ENCLOSURE_ENCLOSURE_MAX_FC_H_

@@ -1,0 +1,256 @@
+// 2D stabbing structures for point enclosure (Theorem 5, Section 5.2).
+//
+// Both structures share XSegmentTree: a segment tree over the x
+// elementary slabs; every rectangle is assigned to O(log n) disjoint
+// canonical nodes (so a query point's root-to-leaf x-path meets each
+// rectangle at most once). Per canonical node, the rectangles assigned
+// there all cover the query's x; what remains is 1D stabbing on y:
+//
+//   * EnclosurePrioritized — per-node y-interval-tree-of-PSTs
+//     (IntervalTreeStabT, O(m) space): query cost O(log^3 n + t) with no
+//     duplicates. Substitution for Rahul's O(n log* n) structure [27] —
+//     same output-sensitive contract, heavier polylog.
+//   * EnclosureMax — per-node slab stabbing-max (SlabMaxT, O(m) space):
+//     the paper's own Section 5.2 construction minus fractional
+//     cascading; O(log^2 n) query.
+//
+// Space engineering: canonical nodes holding few rectangles dominate by
+// count, so nodes with <= kSmallNode rectangles store a flat
+// weight-descending span in a shared arena instead of a full inner
+// structure (scanning a span costs O(kSmallNode) beyond the reported
+// elements, adding O(log n) overhead per query). Total space:
+// O(n log n) elements + inner-structure overhead only on heavy nodes.
+
+#ifndef TOPK_ENCLOSURE_ENCLOSURE_STRUCTURES_H_
+#define TOPK_ENCLOSURE_ENCLOSURE_STRUCTURES_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/weighted.h"
+#include "enclosure/rect.h"
+#include "interval/interval_tree_stab.h"
+#include "interval/stab_max.h"
+
+namespace topk::enclosure {
+
+struct RectYSpan {
+  static double Lo(const Rect& e) { return e.y1; }
+  static double Hi(const Rect& e) { return e.y2; }
+};
+
+// Segment tree over x-slabs with hybrid per-node storage. Inner is the
+// heavy-node structure (built from the node's rectangles).
+template <typename Inner, size_t kSmallNode = 32>
+class XSegmentTree {
+ public:
+  explicit XSegmentTree(std::vector<Rect> data) : size_(data.size()) {
+    coords_.reserve(2 * data.size());
+    for (const Rect& e : data) {
+      coords_.push_back(e.x1);
+      coords_.push_back(e.x2);
+    }
+    std::sort(coords_.begin(), coords_.end());
+    coords_.erase(std::unique(coords_.begin(), coords_.end()),
+                  coords_.end());
+    num_slabs_ = 2 * coords_.size() + 1;
+
+    std::vector<std::vector<Rect>> buckets(4 * num_slabs_);
+    for (const Rect& e : data) {
+      if (e.x1 > e.x2 || e.y1 > e.y2) continue;
+      const size_t a = 2 * CoordIndex(e.x1) + 1;
+      const size_t b = 2 * CoordIndex(e.x2) + 1;
+      Assign(&buckets, 1, 0, num_slabs_, a, b, e);
+    }
+    nodes_.assign(buckets.size(), NodeRef{});
+    for (size_t v = 0; v < buckets.size(); ++v) {
+      std::vector<Rect>& bucket = buckets[v];
+      if (bucket.empty()) continue;
+      if (bucket.size() <= kSmallNode) {
+        std::sort(bucket.begin(), bucket.end(), ByWeightDesc());
+        nodes_[v].begin = static_cast<uint32_t>(arena_.size());
+        arena_.insert(arena_.end(), bucket.begin(), bucket.end());
+        nodes_[v].end = static_cast<uint32_t>(arena_.size());
+      } else {
+        nodes_[v].inner = static_cast<int32_t>(inner_.size());
+        inner_.emplace_back(std::move(bucket));
+      }
+      bucket.clear();
+      bucket.shrink_to_fit();
+    }
+  }
+
+  size_t size() const { return size_; }
+
+  // Visits every canonical node on x's root-to-leaf path:
+  // visit_span(first, last) for flat nodes (weight-descending),
+  // visit_inner(inner) for heavy nodes; either returns false to stop.
+  template <typename VisitSpan, typename VisitInner>
+  void Descend(double x, VisitSpan&& visit_span, VisitInner&& visit_inner,
+               QueryStats* stats) const {
+    if (coords_.empty()) return;
+    const size_t slab = SlabOf(x);
+    size_t node = 1, lo = 0, hi = num_slabs_;
+    while (true) {
+      AddNodes(stats, 1);
+      const NodeRef& ref = nodes_[node];
+      if (ref.inner >= 0) {
+        if (!visit_inner(inner_[ref.inner])) return;
+      } else if (ref.begin < ref.end) {
+        if (!visit_span(arena_.data() + ref.begin,
+                        arena_.data() + ref.end)) {
+          return;
+        }
+      }
+      if (hi - lo == 1) break;
+      const size_t mid = lo + (hi - lo) / 2;
+      if (slab < mid) {
+        node = 2 * node;
+        hi = mid;
+      } else {
+        node = 2 * node + 1;
+        lo = mid;
+      }
+    }
+  }
+
+ private:
+  struct NodeRef {
+    int32_t inner = -1;          // index into inner_, or -1
+    uint32_t begin = 0, end = 0;  // arena span when inner == -1
+  };
+
+  size_t CoordIndex(double v) const {
+    return static_cast<size_t>(
+        std::lower_bound(coords_.begin(), coords_.end(), v) -
+        coords_.begin());
+  }
+
+  size_t SlabOf(double x) const {
+    const size_t j = CoordIndex(x);
+    if (j < coords_.size() && coords_[j] == x) return 2 * j + 1;
+    return 2 * j;
+  }
+
+  static void Assign(std::vector<std::vector<Rect>>* buckets, size_t node,
+                     size_t lo, size_t hi, size_t a, size_t b,
+                     const Rect& e) {
+    if (b < lo || a >= hi) return;
+    if (a <= lo && hi - 1 <= b) {
+      (*buckets)[node].push_back(e);
+      return;
+    }
+    const size_t mid = lo + (hi - lo) / 2;
+    Assign(buckets, 2 * node, lo, mid, a, b, e);
+    Assign(buckets, 2 * node + 1, mid, hi, a, b, e);
+  }
+
+  size_t size_;
+  std::vector<double> coords_;
+  size_t num_slabs_ = 1;
+  std::vector<NodeRef> nodes_;
+  std::vector<Rect> arena_;   // flat small-node lists, weight-descending
+  std::vector<Inner> inner_;  // heavy-node structures
+};
+
+class EnclosurePrioritized {
+ public:
+  using Element = Rect;
+  using Predicate = Point2;
+
+  explicit EnclosurePrioritized(std::vector<Rect> data)
+      : tree_(std::move(data)) {}
+
+  size_t size() const { return tree_.size(); }
+
+  static double QueryCostBound(size_t n, size_t block_size) {
+    if (n < 2) return 1.0;
+    const double lg_b = std::log2(static_cast<double>(
+        block_size < 2 ? size_t{2} : block_size));
+    const double lg_n = std::log2(static_cast<double>(n));
+    return std::max(1.0, lg_n * lg_n / lg_b);
+  }
+
+  template <typename Emit>
+  void QueryPrioritized(const Point2& q, double tau, Emit&& emit,
+                        QueryStats* stats = nullptr) const {
+    bool keep_going = true;
+    tree_.Descend(
+        q.x,
+        [&](const Rect* first, const Rect* last) {
+          for (const Rect* e = first; e != last; ++e) {
+            if (!MeetsThreshold(*e, tau)) break;
+            if (e->y1 <= q.y && q.y <= e->y2) {
+              if (!(keep_going = emit(*e))) return false;
+            }
+          }
+          return true;
+        },
+        [&](const YStab& inner) {
+          inner.QueryPrioritized(
+              q.y, tau,
+              [&](const Rect& e) { return keep_going = emit(e); }, stats);
+          return keep_going;
+        },
+        stats);
+  }
+
+ private:
+  using YStab = interval::IntervalTreeStabT<Rect, RectYSpan>;
+  XSegmentTree<YStab> tree_;
+};
+
+class EnclosureMax {
+ public:
+  using Element = Rect;
+  using Predicate = Point2;
+
+  explicit EnclosureMax(std::vector<Rect> data) : tree_(std::move(data)) {}
+
+  size_t size() const { return tree_.size(); }
+
+  static double QueryCostBound(size_t n, size_t block_size) {
+    return EnclosurePrioritized::QueryCostBound(n, block_size);
+  }
+
+  std::optional<Rect> QueryMax(const Point2& q,
+                               QueryStats* stats = nullptr) const {
+    std::optional<Rect> best;
+    auto consider = [&best](const Rect& e) {
+      if (!best.has_value() || HeavierThan(e, *best)) best = e;
+    };
+    tree_.Descend(
+        q.x,
+        [&](const Rect* first, const Rect* last) {
+          // Weight-descending: the first y-match is this node's max.
+          for (const Rect* e = first; e != last; ++e) {
+            if (e->y1 <= q.y && q.y <= e->y2) {
+              consider(*e);
+              break;
+            }
+          }
+          return true;
+        },
+        [&](const YMax& inner) {
+          std::optional<Rect> hit = inner.QueryMax(q.y, stats);
+          if (hit.has_value()) consider(*hit);
+          return true;
+        },
+        stats);
+    return best;
+  }
+
+ private:
+  using YMax = interval::SlabMaxT<Rect, RectYSpan>;
+  XSegmentTree<YMax> tree_;
+};
+
+}  // namespace topk::enclosure
+
+#endif  // TOPK_ENCLOSURE_ENCLOSURE_STRUCTURES_H_

@@ -1,0 +1,44 @@
+// Problem definition: 2D point enclosure (Theorem 5).
+//
+// D is a set of weighted axis-parallel rectangles; a predicate is a
+// point q, matched by every rectangle containing it. The paper's
+// dating-website query ("the 10 gentlemen with the highest salaries such
+// that my age and height fall into their preferred ranges") is this
+// problem; examples/dating_site.cc runs it.
+//
+// Polynomial boundedness: q(D) is constant within each cell of the grid
+// induced by the 2n x-endpoints and 2n y-endpoints — at most
+// (2n+1)^2 <= n^4 outcomes for n >= 2, so lambda = 4.
+
+#ifndef TOPK_ENCLOSURE_RECT_H_
+#define TOPK_ENCLOSURE_RECT_H_
+
+#include <cstdint>
+
+namespace topk::enclosure {
+
+struct Rect {
+  double x1 = 0, x2 = 0;  // x-extent [x1, x2]
+  double y1 = 0, y2 = 0;  // y-extent [y1, y2]
+  double weight = 0;
+  uint64_t id = 0;
+};
+
+struct Point2 {
+  double x = 0;
+  double y = 0;
+};
+
+struct EnclosureProblem {
+  using Element = Rect;
+  using Predicate = Point2;
+  static constexpr double kLambda = 4.0;
+
+  static bool Matches(const Point2& q, const Rect& e) {
+    return e.x1 <= q.x && q.x <= e.x2 && e.y1 <= q.y && q.y <= e.y2;
+  }
+};
+
+}  // namespace topk::enclosure
+
+#endif  // TOPK_ENCLOSURE_RECT_H_

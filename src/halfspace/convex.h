@@ -1,0 +1,73 @@
+// Convex hull with logarithmic extreme-point search.
+//
+// The hull ring is stored counter-clockwise as lower chain (left to
+// right) followed by upper chain (right to left), built by Andrew's
+// monotone chain with strict turns (boundary-collinear points are not
+// vertices — for onion peeling they simply fall into deeper layers,
+// which preserves the containment invariant).
+//
+// ExtremeIndex(d) finds the vertex maximizing the dot product with d.
+// Within one chain the edge directions rotate monotonically through a
+// window of width <= pi, so the sign sequence of d . edge has at most
+// one change and binary search applies; a bounded local fix-up step
+// absorbs floating-point noise and the width == pi corner (vertical
+// edges). Small rings are scanned directly.
+
+#ifndef TOPK_HALFSPACE_CONVEX_H_
+#define TOPK_HALFSPACE_CONVEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "halfspace/point2.h"
+
+namespace topk::halfspace {
+
+class ConvexHull {
+ public:
+  ConvexHull() = default;
+  // Builds the hull of `pts` (need not be sorted; duplicates fine).
+  explicit ConvexHull(std::vector<Point2W> pts);
+
+  // Adopts an already-built ccw ring (from HullOfSorted). `upper_begin`
+  // is the lower-chain length.
+  static ConvexHull FromRing(std::vector<Point2W> ring, size_t upper_begin) {
+    ConvexHull hull;
+    hull.ring_ = std::move(ring);
+    hull.upper_begin_ = upper_begin;
+    return hull;
+  }
+
+  bool empty() const { return ring_.empty(); }
+  size_t num_vertices() const { return ring_.size(); }
+  const Point2W& vertex(size_t i) const { return ring_[i]; }
+  const std::vector<Point2W>& ring() const { return ring_; }
+
+  // Index of a vertex maximizing nx*x + ny*y; ring must be non-empty.
+  size_t ExtremeIndex(double nx, double ny) const;
+
+  // max over vertices of nx*x + ny*y; -inf when empty.
+  double MaxDot(double nx, double ny) const;
+
+  // True iff some vertex satisfies nx*x + ny*y >= c.
+  bool IntersectsHalfplane(const Halfplane& h) const {
+    return !ring_.empty() && MaxDot(h.nx, h.ny) >= h.c;
+  }
+
+ private:
+  size_t ChainExtreme(size_t begin, size_t end, double nx, double ny) const;
+
+  std::vector<Point2W> ring_;  // ccw; [0, upper_begin_) = lower chain
+  size_t upper_begin_ = 0;
+};
+
+// Builds the hull ring of points sorted by (x, y); exposed for the
+// onion-peeling loop which keeps its working set sorted. `out_on_hull`
+// (same length as pts) is set to true for vertices.
+std::vector<Point2W> HullOfSorted(const std::vector<Point2W>& pts,
+                                  std::vector<char>* out_on_hull,
+                                  size_t* out_upper_begin);
+
+}  // namespace topk::halfspace
+
+#endif  // TOPK_HALFSPACE_CONVEX_H_

@@ -1,0 +1,51 @@
+#include "halfspace/convex_layers.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace topk::halfspace {
+
+ConvexLayers::ConvexLayers(std::vector<Point2W> pts) : size_(pts.size()) {
+  std::sort(pts.begin(), pts.end(), [](const Point2W& a, const Point2W& b) {
+    if (a.x != b.x) return a.x < b.x;
+    if (a.y != b.y) return a.y < b.y;
+    return a.id < b.id;
+  });
+  // Peel: each pass hulls the remaining (still sorted) points; hull
+  // vertices form the next layer. Coincident points: only one copy can
+  // be a hull *vertex* per pass (HullOfSorted marks by index), so twins
+  // drop to deeper layers rather than vanishing.
+  std::vector<Point2W> remaining = std::move(pts);
+  std::vector<char> on_hull;
+  while (!remaining.empty()) {
+    size_t upper_begin = 0;
+    std::vector<Point2W> ring =
+        HullOfSorted(remaining, &on_hull, &upper_begin);
+    // HullOfSorted marks the *positions* it used as vertices; coincident
+    // duplicates of a vertex are distinct positions and stay.
+    std::vector<Point2W> next;
+    next.reserve(remaining.size() - ring.size());
+    // A subtlety: with exact duplicates, the same coordinates appear at
+    // several positions but the chain algorithm only pushes one of them;
+    // positions not marked survive to the next layer.
+    std::vector<char> used(remaining.size(), 0);
+    {
+      // Mark exactly the ring vertices by matching ids (ids are unique).
+      size_t matched = 0;
+      for (size_t i = 0; i < remaining.size() && matched < ring.size();
+           ++i) {
+        if (on_hull[i]) {
+          used[i] = 1;
+          ++matched;
+        }
+      }
+    }
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      if (!used[i]) next.push_back(remaining[i]);
+    }
+    layers_.push_back(ConvexHull::FromRing(std::move(ring), upper_begin));
+    remaining = std::move(next);
+  }
+}
+
+}  // namespace topk::halfspace

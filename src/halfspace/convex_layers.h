@@ -1,0 +1,77 @@
+// Convex layers (onion peeling) answering halfplane reporting.
+//
+// Substitution for Chazelle–Guibas–Lee [15] (see DESIGN.md): peeling
+// convex hulls gives the classic halfplane reporting structure. A query
+// halfplane h visits layers outside-in; on each layer it finds the
+// extreme vertex in h's normal direction in O(log m) and walks both ways
+// along the ring collecting vertices inside h. If a layer misses h
+// entirely, all deeper layers do too (they lie inside its hull), so the
+// query stops: every visited layer except the last reports at least one
+// point, giving O((1 + t) log n) — the paper's bound modulo the
+// fractional-cascading log we document away.
+//
+// Space: every point lives on exactly one layer — O(n).
+
+#ifndef TOPK_HALFSPACE_CONVEX_LAYERS_H_
+#define TOPK_HALFSPACE_CONVEX_LAYERS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.h"
+#include "halfspace/convex.h"
+#include "halfspace/point2.h"
+
+namespace topk::halfspace {
+
+class ConvexLayers {
+ public:
+  ConvexLayers() = default;
+  explicit ConvexLayers(std::vector<Point2W> pts);
+
+  size_t size() const { return size_; }
+  size_t num_layers() const { return layers_.size(); }
+  const ConvexHull& layer(size_t i) const { return layers_[i]; }
+
+  // Calls emit(p) for every point in the halfplane; emit returns false
+  // to stop. Returns false iff stopped early.
+  //
+  // On a convex ring the qualifying vertices form one contiguous arc
+  // containing the extreme vertex, so one forward and one backward walk
+  // cover it; the backward walk stops where the forward walk gave up,
+  // which also handles the all-vertices-qualify wrap-around.
+  template <typename Emit>
+  bool Report(const Halfplane& h, Emit&& emit, QueryStats* stats) const {
+    for (const ConvexHull& hull : layers_) {
+      AddNodes(stats, 1);
+      if (hull.empty()) continue;
+      const size_t m = hull.num_vertices();
+      const size_t ext = hull.ExtremeIndex(h.nx, h.ny);
+      if (!HalfplaneProblem::Matches(h, hull.vertex(ext))) {
+        return true;  // no deeper layer can intersect h
+      }
+      if (!emit(hull.vertex(ext))) return false;
+      size_t fwd = (ext + 1) % m;
+      while (fwd != ext && HalfplaneProblem::Matches(h, hull.vertex(fwd))) {
+        if (!emit(hull.vertex(fwd))) return false;
+        fwd = (fwd + 1) % m;
+      }
+      if (fwd != ext) {  // ring not exhausted: collect the other side
+        for (size_t bwd = (ext + m - 1) % m;
+             bwd != fwd && HalfplaneProblem::Matches(h, hull.vertex(bwd));
+             bwd = (bwd + m - 1) % m) {
+          if (!emit(hull.vertex(bwd))) return false;
+        }
+      }
+    }
+    return true;
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<ConvexHull> layers_;
+};
+
+}  // namespace topk::halfspace
+
+#endif  // TOPK_HALFSPACE_CONVEX_LAYERS_H_

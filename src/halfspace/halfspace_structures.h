@@ -1,0 +1,205 @@
+// Prioritized and max structures for 2D halfplane reporting (Theorem 3,
+// d = 2; Section 5.4 of the paper).
+//
+// Both are a balanced binary tree over the points sorted by descending
+// weight (the paper's "balanced binary search tree on weights"):
+//
+//   * HalfspacePrioritized — each node stores ConvexLayers of its
+//     weight-contiguous point set. A query (h, tau) decomposes the
+//     prefix {w >= tau} into O(log n) canonical nodes and runs halfplane
+//     reporting on each: O(log^2 n + t log n) time, O(n log n) space
+//     (the paper's bound with fractional cascading removed — documented
+//     substitution).
+//   * HalfspaceMax — each node stores just the ConvexHull of its set.
+//     The heaviest point inside h is found by descending from the root,
+//     always taking the heavier child whose hull intersects h —
+//     O(log n) emptiness tests of O(log n) each. This replaces the
+//     paper's planar-point-location-over-incremental-hulls structure
+//     [31] with the same contract at an extra log.
+
+#ifndef TOPK_HALFSPACE_HALFSPACE_STRUCTURES_H_
+#define TOPK_HALFSPACE_HALFSPACE_STRUCTURES_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/weighted.h"
+#include "halfspace/convex.h"
+#include "halfspace/convex_layers.h"
+#include "halfspace/point2.h"
+
+namespace topk::halfspace {
+
+// Balanced tree over the weight-descending order with an Inner structure
+// per node. Inner must be constructible from std::vector<Point2W>.
+template <typename Inner>
+class WeightTree {
+ public:
+  WeightTree() = default;
+  explicit WeightTree(std::vector<Point2W> data) : sorted_(std::move(data)) {
+    std::sort(sorted_.begin(), sorted_.end(), ByWeightDesc());
+    if (!sorted_.empty()) root_ = Build(0, sorted_.size());
+  }
+
+  size_t size() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+
+  // First index whose weight drops below tau = size of the prefix
+  // {w >= tau}.
+  size_t PrefixEnd(double tau) const {
+    return static_cast<size_t>(
+        std::lower_bound(sorted_.begin(), sorted_.end(), tau,
+                         [](const Point2W& p, double t) {
+                           return p.weight >= t;
+                         }) -
+        sorted_.begin());
+  }
+
+  // Visits the O(log n) canonical nodes covering [0, prefix_end);
+  // visit(inner) returns false to stop. Returns false iff stopped.
+  template <typename Visit>
+  bool VisitPrefix(size_t prefix_end, Visit&& visit,
+                   QueryStats* stats) const {
+    return VisitPrefixAt(root_, prefix_end, visit, stats);
+  }
+
+  // Root inner structure (covers all points); nullptr when empty.
+  const Inner* root_inner() const {
+    return root_ < 0 ? nullptr : &nodes_[root_].inner;
+  }
+
+  // Descends from the root picking the heavier child accepted by
+  // `accepts(inner)`; returns the heaviest single point whose every
+  // ancestor was accepted. Requires accepts(root) == true.
+  template <typename Accepts>
+  const Point2W& DescendHeaviest(Accepts&& accepts,
+                                 QueryStats* stats) const {
+    int32_t idx = root_;
+    while (true) {
+      const Node& node = nodes_[idx];
+      AddNodes(stats, 1);
+      if (node.left < 0) return sorted_[node.begin];  // leaf
+      if (accepts(nodes_[node.left].inner)) {
+        idx = node.left;
+      } else {
+        idx = node.right;
+      }
+    }
+  }
+
+ private:
+  struct Node {
+    size_t begin, end;  // range in sorted_
+    Inner inner;
+    int32_t left = -1, right = -1;
+
+    Node(size_t b, size_t e, Inner in)
+        : begin(b), end(e), inner(std::move(in)) {}
+  };
+
+  int32_t Build(size_t begin, size_t end) {
+    const int32_t idx = static_cast<int32_t>(nodes_.size());
+    nodes_.emplace_back(
+        begin, end,
+        Inner(std::vector<Point2W>(sorted_.begin() + begin,
+                                   sorted_.begin() + end)));
+    if (end - begin > 1) {
+      const size_t mid = begin + (end - begin) / 2;
+      const int32_t l = Build(begin, mid);
+      const int32_t r = Build(mid, end);
+      nodes_[idx].left = l;
+      nodes_[idx].right = r;
+    }
+    return idx;
+  }
+
+  template <typename Visit>
+  bool VisitPrefixAt(int32_t idx, size_t prefix_end, Visit& visit,
+                     QueryStats* stats) const {
+    if (idx < 0) return true;
+    const Node& node = nodes_[idx];
+    if (prefix_end <= node.begin) return true;
+    AddNodes(stats, 1);
+    if (prefix_end >= node.end) return visit(node.inner);
+    return VisitPrefixAt(node.left, prefix_end, visit, stats) &&
+           VisitPrefixAt(node.right, prefix_end, visit, stats);
+  }
+
+  std::vector<Point2W> sorted_;  // weight-descending
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+class HalfspacePrioritized {
+ public:
+  using Element = Point2W;
+  using Predicate = Halfplane;
+
+  explicit HalfspacePrioritized(std::vector<Point2W> data)
+      : tree_(std::move(data)) {}
+
+  size_t size() const { return tree_.size(); }
+
+  static double QueryCostBound(size_t n, size_t block_size) {
+    if (n < 2) return 1.0;
+    const double lg_b = std::log2(static_cast<double>(
+        block_size < 2 ? size_t{2} : block_size));
+    const double lg_n = std::log2(static_cast<double>(n));
+    return std::max(1.0, lg_n * lg_n / lg_b);
+  }
+
+  template <typename Emit>
+  void QueryPrioritized(const Halfplane& q, double tau, Emit&& emit,
+                        QueryStats* stats = nullptr) const {
+    // Canonical nodes cover exactly {w >= tau}; no per-point weight
+    // filtering is needed inside.
+    tree_.VisitPrefix(
+        tree_.PrefixEnd(tau),
+        [&](const ConvexLayers& layers) {
+          return layers.Report(q, emit, stats);
+        },
+        stats);
+  }
+
+ private:
+  WeightTree<ConvexLayers> tree_;
+};
+
+class HalfspaceMax {
+ public:
+  using Element = Point2W;
+  using Predicate = Halfplane;
+
+  explicit HalfspaceMax(std::vector<Point2W> data)
+      : tree_(std::move(data)) {}
+
+  size_t size() const { return tree_.size(); }
+
+  static double QueryCostBound(size_t n, size_t block_size) {
+    return HalfspacePrioritized::QueryCostBound(n, block_size);
+  }
+
+  std::optional<Point2W> QueryMax(const Halfplane& q,
+                                  QueryStats* stats = nullptr) const {
+    const ConvexHull* root = tree_.root_inner();
+    if (root == nullptr || !root->IntersectsHalfplane(q)) {
+      return std::nullopt;
+    }
+    return tree_.DescendHeaviest(
+        [&q](const ConvexHull& hull) { return hull.IntersectsHalfplane(q); },
+        stats);
+  }
+
+ private:
+  WeightTree<ConvexHull> tree_;
+};
+
+}  // namespace topk::halfspace
+
+#endif  // TOPK_HALFSPACE_HALFSPACE_STRUCTURES_H_

@@ -1,0 +1,42 @@
+// Problem definition: 2D halfplane reporting (Theorem 3, d = 2).
+//
+// D is a set of weighted points in R^2; a predicate is a halfplane
+// { (x, y) : nx*x + ny*y >= c } given by its inward normal (nx, ny) and
+// offset c. "Searching with linear constraints" per the paper's
+// Section 1.4.
+//
+// Polynomial boundedness: every distinct outcome q(D) is cut off by a
+// line through at most two input points — O(n^2) outcomes (the paper's
+// own example), lambda = 2.
+
+#ifndef TOPK_HALFSPACE_POINT2_H_
+#define TOPK_HALFSPACE_POINT2_H_
+
+#include <cstdint>
+
+namespace topk::halfspace {
+
+struct Point2W {
+  double x = 0, y = 0;
+  double weight = 0;
+  uint64_t id = 0;
+};
+
+struct Halfplane {
+  double nx = 0, ny = 0;  // inward normal
+  double c = 0;           // points with nx*x + ny*y >= c match
+};
+
+struct HalfplaneProblem {
+  using Element = Point2W;
+  using Predicate = Halfplane;
+  static constexpr double kLambda = 2.0;
+
+  static bool Matches(const Halfplane& q, const Point2W& e) {
+    return q.nx * e.x + q.ny * e.y >= q.c;
+  }
+};
+
+}  // namespace topk::halfspace
+
+#endif  // TOPK_HALFSPACE_POINT2_H_

@@ -1,0 +1,38 @@
+// Problem definition: interval stabbing (Theorem 4).
+//
+// D is a set of weighted closed intervals on the real line; a predicate
+// is a stabbing point q, matched by every interval containing it. The
+// paper's dating/validity-time motivation (Section 1.4) and Theorem 4's
+// structures instantiate both reductions here.
+//
+// Polynomial boundedness: the 2n endpoints split the line into at most
+// 2n + 1 slabs and q(D) is constant within a slab, so at most 2n + 1
+// distinct outcomes exist — lambda = 2 suffices for all n >= 2.
+
+#ifndef TOPK_INTERVAL_INTERVAL_H_
+#define TOPK_INTERVAL_INTERVAL_H_
+
+#include <cstdint>
+
+namespace topk::interval {
+
+struct Interval {
+  double lo = 0;
+  double hi = 0;
+  double weight = 0;
+  uint64_t id = 0;
+};
+
+struct StabProblem {
+  using Element = Interval;
+  using Predicate = double;  // the stabbing point
+  static constexpr double kLambda = 2.0;
+
+  static bool Matches(double q, const Interval& e) {
+    return e.lo <= q && q <= e.hi;
+  }
+};
+
+}  // namespace topk::interval
+
+#endif  // TOPK_INTERVAL_INTERVAL_H_

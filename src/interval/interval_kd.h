@@ -1,0 +1,36 @@
+// Interval stabbing via the kd-tree over endpoint space.
+//
+// The classic embedding: a closed interval [lo, hi] becomes the 2D
+// point (lo, hi), and "contains q" becomes the quadrant predicate
+// lo <= q <= hi. The weight-augmented kd-tree then provides both
+// prioritized and max stabbing — a third Theorem 4 substrate, and the
+// one that composes with LogarithmicMethod for insert-only dynamism
+// (the segment-tree structures are strictly static).
+
+#ifndef TOPK_INTERVAL_INTERVAL_KD_H_
+#define TOPK_INTERVAL_INTERVAL_KD_H_
+
+#include "dominance/kdtree.h"
+#include "interval/interval.h"
+
+namespace topk::interval {
+
+struct IntervalEndpointGeo {
+  static constexpr int kDims = 2;
+  static double Coord(const Interval& e, int dim) {
+    return dim == 0 ? e.lo : e.hi;
+  }
+  // The stabbing region of q is the quadrant {lo <= q} x {hi >= q}.
+  static bool IntersectsBox(double q, const double* lo, const double* hi) {
+    return lo[0] <= q && hi[1] >= q;
+  }
+  static bool ContainsBox(double q, const double* lo, const double* hi) {
+    return hi[0] <= q && lo[1] >= q;
+  }
+};
+
+using IntervalKdTree = dominance::KdTree<StabProblem, IntervalEndpointGeo>;
+
+}  // namespace topk::interval
+
+#endif  // TOPK_INTERVAL_INTERVAL_KD_H_

@@ -1,0 +1,182 @@
+// Prioritized interval stabbing in O(n) space: an interval tree whose
+// nodes carry priority search trees.
+//
+// Classic interval tree: each node's center is a median endpoint of the
+// elements reaching it; elements containing the center stay at the node,
+// the rest split left/right, so every element is stored exactly once and
+// the depth is O(log n).
+//
+// At a node with center c, a stabbing point q < c matches a stored
+// element [lo, hi] iff lo <= q (hi >= c > q holds for free) — a
+// one-sided condition. Combined with the weight threshold this is a
+// three-sided query, answered by a priority search tree over (lo,
+// weight); symmetrically (hi, weight) for q > c; q == c matches the
+// whole node list. Query: O(log^2 n + t); space O(n).
+//
+// Compared with SegmentStabbingT (O(n log n) space, O(log n + t) query)
+// this trades a log in query time for a log in space — the library
+// ships both; the reductions accept either (experiment E7 compares).
+
+#ifndef TOPK_INTERVAL_INTERVAL_TREE_STAB_H_
+#define TOPK_INTERVAL_INTERVAL_TREE_STAB_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/weighted.h"
+#include "interval/interval.h"
+#include "interval/seg_stab.h"
+#include "range1d/pst.h"
+
+namespace topk::interval {
+
+template <typename E, typename Span>
+class IntervalTreeStabT {
+ public:
+  using Element = E;
+  using Predicate = double;
+
+  explicit IntervalTreeStabT(std::vector<E> data) : size_(data.size()) {
+    root_ = Build(std::move(data));
+  }
+
+  size_t size() const { return size_; }
+
+  static double QueryCostBound(size_t n, size_t block_size) {
+    if (n < 2) return 1.0;
+    const double lg_b = std::log2(static_cast<double>(
+        block_size < 2 ? size_t{2} : block_size));
+    const double lg_n = std::log2(static_cast<double>(n));
+    return std::max(1.0, lg_n * lg_n / lg_b);
+  }
+
+  template <typename Emit>
+  void QueryPrioritized(double q, double tau, Emit&& emit,
+                        QueryStats* stats = nullptr) const {
+    int32_t idx = root_;
+    while (idx != kNil) {
+      const Node& node = nodes_[idx];
+      AddNodes(stats, 1);
+      if (q == node.center) {
+        // Everything stored here contains q; emit by descending weight.
+        for (const E& e : node.elements) {
+          if (!MeetsThreshold(e, tau)) break;
+          if (!emit(e)) return;
+        }
+        // Elements elsewhere cannot contain q only if their extent
+        // avoids the center... they can still contain q: keep walking
+        // both sides? No: left subtree extents lie strictly left of
+        // center, right strictly right, so neither contains q == center.
+        return;
+      }
+      bool keep_going = true;
+      if (q < node.center) {
+        // Matches iff Lo(e) <= q; PST over (lo, weight).
+        node.lo_pst.QueryPrioritized(
+            {-std::numeric_limits<double>::infinity(), q}, tau,
+            [&](const range1d::Point1D& p) {
+              keep_going = emit(node.elements[p.id]);
+              return keep_going;
+            },
+            stats);
+        if (!keep_going) return;
+        idx = node.left;
+      } else {
+        node.hi_pst.QueryPrioritized(
+            {q, std::numeric_limits<double>::infinity()}, tau,
+            [&](const range1d::Point1D& p) {
+              keep_going = emit(node.elements[p.id]);
+              return keep_going;
+            },
+            stats);
+        if (!keep_going) return;
+        idx = node.right;
+      }
+    }
+  }
+
+ private:
+  static constexpr int32_t kNil = -1;
+
+  struct Node {
+    double center;
+    std::vector<E> elements;  // sorted by descending weight
+    range1d::PrioritySearchTree lo_pst;  // points (Lo(e), w(e), local idx)
+    range1d::PrioritySearchTree hi_pst;  // points (Hi(e), w(e), local idx)
+    int32_t left = kNil;
+    int32_t right = kNil;
+
+    Node(double c, std::vector<E> elems,
+         std::vector<range1d::Point1D> lo_pts,
+         std::vector<range1d::Point1D> hi_pts)
+        : center(c),
+          elements(std::move(elems)),
+          lo_pst(std::move(lo_pts)),
+          hi_pst(std::move(hi_pts)) {}
+  };
+
+  int32_t Build(std::vector<E> data) {
+    // Drop empty extents up front.
+    std::erase_if(data, [](const E& e) { return Span::Lo(e) > Span::Hi(e); });
+    if (data.empty()) return kNil;
+
+    // Median endpoint of the current subset.
+    std::vector<double> endpoints;
+    endpoints.reserve(2 * data.size());
+    for (const E& e : data) {
+      endpoints.push_back(Span::Lo(e));
+      endpoints.push_back(Span::Hi(e));
+    }
+    const size_t mid = endpoints.size() / 2;
+    std::nth_element(endpoints.begin(), endpoints.begin() + mid,
+                     endpoints.end());
+    const double center = endpoints[mid];
+
+    std::vector<E> here, left, right;
+    for (E& e : data) {
+      if (Span::Hi(e) < center) {
+        left.push_back(std::move(e));
+      } else if (Span::Lo(e) > center) {
+        right.push_back(std::move(e));
+      } else {
+        here.push_back(std::move(e));
+      }
+    }
+    data.clear();
+    data.shrink_to_fit();
+
+    std::sort(here.begin(), here.end(), ByWeightDesc());
+    std::vector<range1d::Point1D> lo_pts, hi_pts;
+    lo_pts.reserve(here.size());
+    hi_pts.reserve(here.size());
+    for (size_t i = 0; i < here.size(); ++i) {
+      lo_pts.push_back({Span::Lo(here[i]), here[i].weight, i});
+      hi_pts.push_back({Span::Hi(here[i]), here[i].weight, i});
+    }
+
+    const int32_t idx = static_cast<int32_t>(nodes_.size());
+    nodes_.emplace_back(center, std::move(here), std::move(lo_pts),
+                        std::move(hi_pts));
+    const int32_t l = left.empty() ? kNil : Build(std::move(left));
+    const int32_t r = right.empty() ? kNil : Build(std::move(right));
+    nodes_[idx].left = l;
+    nodes_[idx].right = r;
+    return idx;
+  }
+
+  size_t size_;
+  std::vector<Node> nodes_;
+  int32_t root_ = kNil;
+};
+
+using IntervalTreeStab = IntervalTreeStabT<Interval, IntervalSpan>;
+
+}  // namespace topk::interval
+
+#endif  // TOPK_INTERVAL_INTERVAL_TREE_STAB_H_

@@ -1,0 +1,140 @@
+// Static stabbing-max: the folklore slab structure of Section 5.2.
+//
+// The 2n endpoints divide the line into at most 4n + 1 elementary slabs
+// (point slabs at coordinates plus the open gaps); each slab stores the
+// heaviest element covering it, computed by one sweep with a max-
+// multiset. A query is a predecessor search: O(log n) time, O(n) space.
+//
+// Generic over the element type via `Span` (see seg_stab.h); point
+// enclosure's max structure reuses it per x-canonical node.
+
+#ifndef TOPK_INTERVAL_STAB_MAX_H_
+#define TOPK_INTERVAL_STAB_MAX_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/weighted.h"
+#include "interval/interval.h"
+#include "interval/seg_stab.h"
+
+namespace topk::interval {
+
+template <typename E, typename Span>
+class SlabMaxT {
+ public:
+  using Element = E;
+  using Predicate = double;
+
+  explicit SlabMaxT(std::vector<E> data) : size_(data.size()) {
+    coords_.reserve(2 * data.size());
+    for (const E& e : data) {
+      coords_.push_back(Span::Lo(e));
+      coords_.push_back(Span::Hi(e));
+    }
+    std::sort(coords_.begin(), coords_.end());
+    coords_.erase(std::unique(coords_.begin(), coords_.end()),
+                  coords_.end());
+    const size_t num_slabs = 2 * coords_.size() + 1;
+    slab_best_.assign(num_slabs, -1);
+    if (data.empty()) return;
+
+    // An element spans slabs [2*idx(Lo)+1, 2*idx(Hi)+1].
+    std::vector<std::vector<const E*>> starts(num_slabs);
+    std::vector<std::vector<const E*>> ends(num_slabs);
+    for (const E& e : data) {
+      if (Span::Lo(e) > Span::Hi(e)) continue;
+      starts[2 * CoordIndex(Span::Lo(e)) + 1].push_back(&e);
+      ends[2 * CoordIndex(Span::Hi(e)) + 1].push_back(&e);
+    }
+
+    std::map<WeightKey, const E*> active;
+    std::map<uint64_t, int32_t> memo;  // id of current max -> best_ index
+    for (size_t s = 0; s < num_slabs; ++s) {
+      for (const E* e : starts[s]) {
+        active.emplace(WeightKey{e->weight, e->id}, e);
+      }
+      if (!active.empty()) {
+        const E* top = active.rbegin()->second;
+        auto it = memo.find(top->id);
+        if (it == memo.end()) {
+          it = memo.emplace(top->id, static_cast<int32_t>(best_.size()))
+                   .first;
+          best_.push_back(*top);
+        }
+        slab_best_[s] = it->second;
+      }
+      for (const E* e : ends[s]) {
+        active.erase(WeightKey{e->weight, e->id});
+      }
+    }
+  }
+
+  size_t size() const { return size_; }
+
+  static double QueryCostBound(size_t n, size_t block_size) {
+    if (n < 2) return 1.0;
+    const double lg_b = std::log2(static_cast<double>(
+        block_size < 2 ? size_t{2} : block_size));
+    return std::max(1.0, std::log2(static_cast<double>(n)) / lg_b);
+  }
+
+  // The heaviest element covering q, if any.
+  std::optional<E> QueryMax(double q, QueryStats* stats = nullptr) const {
+    if (coords_.empty()) return std::nullopt;
+    const size_t j = CoordIndex(q);
+    AddNodes(stats, 1 + static_cast<uint64_t>(std::log2(
+                            static_cast<double>(coords_.size() + 1))));
+    return MaxAtCoordIndex(j, j < coords_.size() && coords_[j] == q);
+  }
+
+  // The sorted endpoint catalog (exposed for fractional cascading).
+  const std::vector<double>& coords() const { return coords_; }
+
+  // Max lookup when the caller already knows q's lower-bound index j in
+  // coords() and whether coords()[j] == q: O(1), the fractional-
+  // cascading fast path.
+  std::optional<E> MaxAtCoordIndex(size_t j, bool exact) const {
+    if (coords_.empty()) return std::nullopt;
+    const size_t slab = exact ? 2 * j + 1 : 2 * j;
+    const int32_t idx = slab_best_[slab];
+    if (idx < 0) return std::nullopt;
+    return best_[idx];
+  }
+
+ private:
+  // Weight-ordered key for the sweep's active set; id breaks ties.
+  struct WeightKey {
+    double weight;
+    uint64_t id;
+    bool operator<(const WeightKey& o) const {
+      if (weight != o.weight) return weight < o.weight;
+      return id < o.id;
+    }
+  };
+
+  size_t CoordIndex(double v) const {
+    return static_cast<size_t>(
+        std::lower_bound(coords_.begin(), coords_.end(), v) -
+        coords_.begin());
+  }
+
+  size_t size_ = 0;
+  std::vector<double> coords_;      // sorted unique endpoints
+  std::vector<int32_t> slab_best_;  // per slab: index into best_ or -1
+  std::vector<E> best_;             // deduplicated slab maxima
+};
+
+// The Theorem 4 max structure.
+using SlabStabMax = SlabMaxT<Interval, IntervalSpan>;
+
+}  // namespace topk::interval
+
+#endif  // TOPK_INTERVAL_STAB_MAX_H_

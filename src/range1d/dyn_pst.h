@@ -1,0 +1,181 @@
+// Dynamic priority search tree: a treap ordered by (x, id) whose heap
+// priority IS the weight — the textbook dynamic PST.
+//
+// Three-sided queries work exactly as in the static PST (prune subtrees
+// whose max weight — the root, by the heap property — misses tau).
+// Insert/Erase are the classic treap rotations in O(depth).
+//
+// Balance caveat (documented, matches the structure's folklore status):
+// depth is O(log n) in expectation when weights are independent of the
+// x-order, which holds for the randomized workloads of the paper's
+// model; adversarially correlated weights can degrade it. The library's
+// reductions only require the *contract*, not a worst-case proof, and
+// the update benchmarks (E5) measure actual behaviour.
+
+#ifndef TOPK_RANGE1D_DYN_PST_H_
+#define TOPK_RANGE1D_DYN_PST_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "core/weighted.h"
+#include "range1d/point1d.h"
+
+namespace topk::range1d {
+
+class DynamicPst {
+ public:
+  using Element = Point1D;
+  using Predicate = Range1D;
+
+  DynamicPst() = default;
+  explicit DynamicPst(std::vector<Point1D> data) {
+    for (const Point1D& p : data) Insert(p);
+  }
+
+  DynamicPst(DynamicPst&&) = default;
+  DynamicPst& operator=(DynamicPst&&) = default;
+
+  size_t size() const { return size_; }
+
+  static double QueryCostBound(size_t n, size_t block_size) {
+    if (n < 2) return 1.0;
+    const double lg_b = std::log2(static_cast<double>(
+        block_size < 2 ? size_t{2} : block_size));
+    return std::max(1.0, std::log2(static_cast<double>(n)) / lg_b);
+  }
+
+  void Insert(const Point1D& p) {
+    root_ = InsertAt(std::move(root_), p);
+    ++size_;
+  }
+
+  // `p` must currently be stored (matched by id).
+  void Erase(const Point1D& p) {
+    bool erased = false;
+    root_ = EraseAt(std::move(root_), p, &erased);
+    TOPK_CHECK(erased);
+    --size_;
+  }
+
+  template <typename Emit>
+  void QueryPrioritized(const Range1D& q, double tau, Emit&& emit,
+                        QueryStats* stats = nullptr) const {
+    Visit(root_.get(), q, tau, emit, stats);
+  }
+
+  template <typename F>
+  void ForEach(F&& f) const {
+    ForEachNode(root_.get(), f);
+  }
+
+ private:
+  struct Node {
+    Point1D point;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+  using NodePtr = std::unique_ptr<Node>;
+
+  // BST order on (x, id).
+  static bool KeyLess(const Point1D& a, const Point1D& b) {
+    if (a.x != b.x) return a.x < b.x;
+    return a.id < b.id;
+  }
+
+  static NodePtr RotateRight(NodePtr n) {
+    NodePtr l = std::move(n->left);
+    n->left = std::move(l->right);
+    l->right = std::move(n);
+    return l;
+  }
+
+  static NodePtr RotateLeft(NodePtr n) {
+    NodePtr r = std::move(n->right);
+    n->right = std::move(r->left);
+    r->left = std::move(n);
+    return r;
+  }
+
+  static NodePtr InsertAt(NodePtr n, const Point1D& p) {
+    if (!n) {
+      NodePtr fresh = std::make_unique<Node>();
+      fresh->point = p;
+      return fresh;
+    }
+    if (KeyLess(p, n->point)) {
+      n->left = InsertAt(std::move(n->left), p);
+      if (HeavierThan(n->left->point, n->point)) n = RotateRight(std::move(n));
+    } else {
+      n->right = InsertAt(std::move(n->right), p);
+      if (HeavierThan(n->right->point, n->point)) n = RotateLeft(std::move(n));
+    }
+    return n;
+  }
+
+  static NodePtr EraseAt(NodePtr n, const Point1D& p, bool* erased) {
+    if (!n) return n;
+    if (n->point.id == p.id && n->point.x == p.x) {
+      *erased = true;
+      return EraseRoot(std::move(n));
+    }
+    if (KeyLess(p, n->point)) {
+      n->left = EraseAt(std::move(n->left), p, erased);
+    } else {
+      n->right = EraseAt(std::move(n->right), p, erased);
+    }
+    return n;
+  }
+
+  // Rotates the heavier child up until the node is a leaf, then drops it.
+  static NodePtr EraseRoot(NodePtr n) {
+    if (!n->left && !n->right) return nullptr;
+    if (!n->left || (n->right && HeavierThan(n->right->point, n->left->point))) {
+      n = RotateLeft(std::move(n));
+      n->left = EraseRoot(std::move(n->left));
+    } else {
+      n = RotateRight(std::move(n));
+      n->right = EraseRoot(std::move(n->right));
+    }
+    return n;
+  }
+
+  template <typename Emit>
+  static bool Visit(const Node* n, const Range1D& q, double tau, Emit& emit,
+                    QueryStats* stats) {
+    if (n == nullptr) return true;
+    AddNodes(stats, 1);
+    if (!MeetsThreshold(n->point, tau)) return true;  // heap prune
+    if (Range1DProblem::Matches(q, n->point)) {
+      if (!emit(n->point)) return false;
+    }
+    if (q.lo <= n->point.x) {
+      if (!Visit(n->left.get(), q, tau, emit, stats)) return false;
+    }
+    if (q.hi >= n->point.x) {
+      if (!Visit(n->right.get(), q, tau, emit, stats)) return false;
+    }
+    return true;
+  }
+
+  template <typename F>
+  static void ForEachNode(const Node* n, F& f) {
+    if (n == nullptr) return;
+    f(n->point);
+    ForEachNode(n->left.get(), f);
+    ForEachNode(n->right.get(), f);
+  }
+
+  NodePtr root_;
+  size_t size_ = 0;
+};
+
+}  // namespace topk::range1d
+
+#endif  // TOPK_RANGE1D_DYN_PST_H_

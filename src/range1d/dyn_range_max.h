@@ -1,0 +1,248 @@
+// Dynamic range maximum: a treap keyed by (x, id) with *random* heap
+// priorities (for balance) and a subtree max-weight augmentation.
+//
+// QueryMax([a, b]) decomposes the range into O(log n) expected subtrees
+// and combines their cached maxima. Insert/Erase are treap updates that
+// re-pull the augmentation along the touched path.
+
+#ifndef TOPK_RANGE1D_DYN_RANGE_MAX_H_
+#define TOPK_RANGE1D_DYN_RANGE_MAX_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/weighted.h"
+#include "range1d/point1d.h"
+
+namespace topk::range1d {
+
+class DynamicRangeMax {
+ public:
+  using Element = Point1D;
+  using Predicate = Range1D;
+
+  DynamicRangeMax() : rng_(1729) {}
+  explicit DynamicRangeMax(std::vector<Point1D> data, uint64_t seed = 1729)
+      : rng_(seed) {
+    for (const Point1D& p : data) Insert(p);
+  }
+
+  DynamicRangeMax(DynamicRangeMax&&) = default;
+  DynamicRangeMax& operator=(DynamicRangeMax&&) = default;
+
+  size_t size() const { return size_; }
+
+  static double QueryCostBound(size_t n, size_t block_size) {
+    if (n < 2) return 1.0;
+    const double lg_b = std::log2(static_cast<double>(
+        block_size < 2 ? size_t{2} : block_size));
+    return std::max(1.0, std::log2(static_cast<double>(n)) / lg_b);
+  }
+
+  void Insert(const Point1D& p) {
+    root_ = InsertAt(std::move(root_), p, rng_.Next());
+    ++size_;
+  }
+
+  void Erase(const Point1D& p) {
+    bool erased = false;
+    root_ = EraseAt(std::move(root_), p, &erased);
+    TOPK_CHECK(erased);
+    --size_;
+  }
+
+  std::optional<Point1D> QueryMax(const Range1D& q,
+                                  QueryStats* stats = nullptr) const {
+    if (q.lo > q.hi) return std::nullopt;
+    const Point1D* best = nullptr;
+    Search(root_.get(), q, &best, stats);
+    if (best == nullptr) return std::nullopt;
+    return *best;
+  }
+
+  template <typename F>
+  void ForEach(F&& f) const {
+    ForEachNode(root_.get(), f);
+  }
+
+ private:
+  struct Node {
+    Point1D point;
+    uint64_t prio;
+    Point1D subtree_max;  // heaviest point in this subtree
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+  using NodePtr = std::unique_ptr<Node>;
+
+  static bool KeyLess(const Point1D& a, const Point1D& b) {
+    if (a.x != b.x) return a.x < b.x;
+    return a.id < b.id;
+  }
+
+  static void Pull(Node* n) {
+    n->subtree_max = n->point;
+    if (n->left && HeavierThan(n->left->subtree_max, n->subtree_max)) {
+      n->subtree_max = n->left->subtree_max;
+    }
+    if (n->right && HeavierThan(n->right->subtree_max, n->subtree_max)) {
+      n->subtree_max = n->right->subtree_max;
+    }
+  }
+
+  static NodePtr RotateRight(NodePtr n) {
+    NodePtr l = std::move(n->left);
+    n->left = std::move(l->right);
+    Pull(n.get());
+    l->right = std::move(n);
+    Pull(l.get());
+    return l;
+  }
+
+  static NodePtr RotateLeft(NodePtr n) {
+    NodePtr r = std::move(n->right);
+    n->right = std::move(r->left);
+    Pull(n.get());
+    r->left = std::move(n);
+    Pull(r.get());
+    return r;
+  }
+
+  static NodePtr InsertAt(NodePtr n, const Point1D& p, uint64_t prio) {
+    if (!n) {
+      NodePtr fresh = std::make_unique<Node>();
+      fresh->point = p;
+      fresh->prio = prio;
+      fresh->subtree_max = p;
+      return fresh;
+    }
+    if (KeyLess(p, n->point)) {
+      n->left = InsertAt(std::move(n->left), p, prio);
+      if (n->left->prio > n->prio) {
+        n = RotateRight(std::move(n));
+      } else {
+        Pull(n.get());
+      }
+    } else {
+      n->right = InsertAt(std::move(n->right), p, prio);
+      if (n->right->prio > n->prio) {
+        n = RotateLeft(std::move(n));
+      } else {
+        Pull(n.get());
+      }
+    }
+    return n;
+  }
+
+  static NodePtr EraseAt(NodePtr n, const Point1D& p, bool* erased) {
+    if (!n) return n;
+    if (n->point.id == p.id && n->point.x == p.x) {
+      *erased = true;
+      return EraseRoot(std::move(n));
+    }
+    if (KeyLess(p, n->point)) {
+      n->left = EraseAt(std::move(n->left), p, erased);
+    } else {
+      n->right = EraseAt(std::move(n->right), p, erased);
+    }
+    Pull(n.get());
+    return n;
+  }
+
+  static NodePtr EraseRoot(NodePtr n) {
+    if (!n->left && !n->right) return nullptr;
+    if (!n->left || (n->right && n->right->prio > n->left->prio)) {
+      n = RotateLeft(std::move(n));
+      n->left = EraseRoot(std::move(n->left));
+    } else {
+      n = RotateRight(std::move(n));
+      n->right = EraseRoot(std::move(n->right));
+    }
+    Pull(n.get());
+    return n;
+  }
+
+  // Standard BST range-max descent: once the subtree's key range is
+  // inside [a, b] the cached subtree_max answers in O(1).
+  static void Search(const Node* n, const Range1D& q, const Point1D** best,
+                     QueryStats* stats) {
+    if (n == nullptr) return;
+    AddNodes(stats, 1);
+    if (n->point.x < q.lo) {
+      Search(n->right.get(), q, best, stats);
+      return;
+    }
+    if (n->point.x > q.hi) {
+      Search(n->left.get(), q, best, stats);
+      return;
+    }
+    // n is inside; left needs only the lower bound, right only the upper.
+    Consider(n->point, best);
+    SearchLow(n->left.get(), q.lo, best, stats);
+    SearchHigh(n->right.get(), q.hi, best, stats);
+  }
+
+  // All keys here are <= some in-range key; only q.lo constrains.
+  static void SearchLow(const Node* n, double lo, const Point1D** best,
+                        QueryStats* stats) {
+    if (n == nullptr) return;
+    AddNodes(stats, 1);
+    if (n->point.x >= lo) {
+      Consider(n->point, best);
+      if (n->right) ConsiderSubtree(*n->right, best, stats);
+      SearchLow(n->left.get(), lo, best, stats);
+    } else {
+      SearchLow(n->right.get(), lo, best, stats);
+    }
+  }
+
+  // All keys here are >= some in-range key; only q.hi constrains.
+  static void SearchHigh(const Node* n, double hi, const Point1D** best,
+                         QueryStats* stats) {
+    if (n == nullptr) return;
+    AddNodes(stats, 1);
+    if (n->point.x <= hi) {
+      Consider(n->point, best);
+      if (n->left) ConsiderSubtree(*n->left, best, stats);
+      SearchHigh(n->right.get(), hi, best, stats);
+    } else {
+      SearchHigh(n->left.get(), hi, best, stats);
+    }
+  }
+
+  static void Consider(const Point1D& p, const Point1D** best) {
+    if (*best == nullptr || HeavierThan(p, **best)) *best = &p;
+  }
+
+  static void ConsiderSubtree(const Node& n, const Point1D** best,
+                              QueryStats* stats) {
+    AddNodes(stats, 1);
+    if (*best == nullptr || HeavierThan(n.subtree_max, **best)) {
+      *best = &n.subtree_max;
+    }
+  }
+
+  template <typename F>
+  static void ForEachNode(const Node* n, F& f) {
+    if (n == nullptr) return;
+    f(n->point);
+    ForEachNode(n->left.get(), f);
+    ForEachNode(n->right.get(), f);
+  }
+
+  Rng rng_;
+  NodePtr root_;
+  size_t size_ = 0;
+};
+
+}  // namespace topk::range1d
+
+#endif  // TOPK_RANGE1D_DYN_RANGE_MAX_H_

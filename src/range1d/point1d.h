@@ -1,0 +1,43 @@
+// Problem definition: 1D range reporting over weighted points.
+//
+// D is a set of weighted points on the real line; a predicate is a
+// closed interval [lo, hi]. Top-k range reporting is the most studied
+// problem in the paper's survey (Section 2: [3, 11, 12, 33, 35]) and the
+// library's reference instantiation: both its prioritized structure (a
+// priority search tree) and its max structure (range maximum) meet the
+// paper's interface contracts exactly, in RAM and (via em/) in EM.
+//
+// Polynomial boundedness: every outcome q(D) is a contiguous run of the
+// x-sorted order, so at most n^2 outcomes exist — lambda = 2.
+
+#ifndef TOPK_RANGE1D_POINT1D_H_
+#define TOPK_RANGE1D_POINT1D_H_
+
+#include <cstdint>
+
+namespace topk::range1d {
+
+struct Point1D {
+  double x = 0;
+  double weight = 0;
+  uint64_t id = 0;
+};
+
+struct Range1D {
+  double lo = 0;
+  double hi = 0;
+};
+
+struct Range1DProblem {
+  using Element = Point1D;
+  using Predicate = Range1D;
+  static constexpr double kLambda = 2.0;
+
+  static bool Matches(const Range1D& q, const Point1D& e) {
+    return q.lo <= e.x && e.x <= q.hi;
+  }
+};
+
+}  // namespace topk::range1d
+
+#endif  // TOPK_RANGE1D_POINT1D_H_

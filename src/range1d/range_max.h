@@ -1,0 +1,96 @@
+// Static range maximum: the max structure for 1D range reporting.
+//
+// Points sorted by x; a sparse table over the sorted order answers
+// "heaviest point with x in [lo, hi]" with two overlapping power-of-two
+// windows after an O(log n) binary search for the index range. Space
+// O(n log n) — deliberately *larger* than the prioritized structure's
+// O(n), which is exactly the situation the paper's "bootstrapping"
+// remark (Section 1.3) addresses: Theorem 2 builds max structures only
+// on geometrically decaying samples, so the top-k structure's space
+// stays O(S_pri). Experiment E4 measures this.
+
+#ifndef TOPK_RANGE1D_RANGE_MAX_H_
+#define TOPK_RANGE1D_RANGE_MAX_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/weighted.h"
+#include "range1d/point1d.h"
+
+namespace topk::range1d {
+
+class RangeMax {
+ public:
+  using Element = Point1D;
+  using Predicate = Range1D;
+
+  explicit RangeMax(std::vector<Point1D> data) : points_(std::move(data)) {
+    std::sort(points_.begin(), points_.end(),
+              [](const Point1D& a, const Point1D& b) { return a.x < b.x; });
+    const size_t n = points_.size();
+    if (n == 0) return;
+    const size_t levels = Log2Floor(n) + 1;
+    table_.assign(levels, std::vector<uint32_t>(n));
+    for (size_t i = 0; i < n; ++i) table_[0][i] = static_cast<uint32_t>(i);
+    for (size_t l = 1; l < levels; ++l) {
+      const size_t half = size_t{1} << (l - 1);
+      for (size_t i = 0; i + (size_t{1} << l) <= n; ++i) {
+        const uint32_t a = table_[l - 1][i];
+        const uint32_t b = table_[l - 1][i + half];
+        table_[l][i] = HeavierThan(points_[a], points_[b]) ? a : b;
+      }
+    }
+  }
+
+  size_t size() const { return points_.size(); }
+
+  // Q_max(n): the binary search dominates.
+  static double QueryCostBound(size_t n, size_t block_size) {
+    if (n < 2) return 1.0;
+    const double lg_b = std::log2(static_cast<double>(
+        block_size < 2 ? size_t{2} : block_size));
+    return std::max(1.0, std::log2(static_cast<double>(n)) / lg_b);
+  }
+
+  std::optional<Point1D> QueryMax(const Range1D& q,
+                                  QueryStats* stats = nullptr) const {
+    const auto lo_it = std::lower_bound(
+        points_.begin(), points_.end(), q.lo,
+        [](const Point1D& p, double v) { return p.x < v; });
+    const auto hi_it = std::upper_bound(
+        points_.begin(), points_.end(), q.hi,
+        [](double v, const Point1D& p) { return v < p.x; });
+    AddNodes(stats, Log2Floor(points_.size() + 1) + 2);
+    if (lo_it >= hi_it) return std::nullopt;
+    const size_t lo = static_cast<size_t>(lo_it - points_.begin());
+    const size_t hi = static_cast<size_t>(hi_it - points_.begin());  // excl
+    const size_t len = hi - lo;
+    const size_t l = Log2Floor(len);
+    const uint32_t a = table_[l][lo];
+    const uint32_t b = table_[l][hi - (size_t{1} << l)];
+    return HeavierThan(points_[a], points_[b]) ? points_[a] : points_[b];
+  }
+
+ private:
+  static size_t Log2Floor(size_t v) {
+    size_t r = 0;
+    while (v > 1) {
+      v >>= 1;
+      ++r;
+    }
+    return r;
+  }
+
+  std::vector<Point1D> points_;  // sorted by x
+  std::vector<std::vector<uint32_t>> table_;
+};
+
+}  // namespace topk::range1d
+
+#endif  // TOPK_RANGE1D_RANGE_MAX_H_

@@ -1,0 +1,42 @@
+// Problem definition: 2D orthogonal range reporting.
+//
+// D is a set of weighted points in R^2; a predicate is an axis-parallel
+// rectangle. The paper's survey (Section 2) calls the top-k version of
+// this "the most extensively studied (and hence, the best understood)
+// problem" [28, 29]; this module instantiates both reductions on it.
+//
+// Polynomial boundedness: q(D) is determined by the ranks of the four
+// rectangle sides among the point coordinates — at most (n+1)^4
+// outcomes, lambda = 4.
+
+#ifndef TOPK_RANGE2D_POINT2D_H_
+#define TOPK_RANGE2D_POINT2D_H_
+
+#include <cstdint>
+
+namespace topk::range2d {
+
+struct WPoint2D {
+  double x = 0, y = 0;
+  double weight = 0;
+  uint64_t id = 0;
+};
+
+struct Rect2 {
+  double x1 = 0, x2 = 0;
+  double y1 = 0, y2 = 0;
+};
+
+struct Range2DProblem {
+  using Element = WPoint2D;
+  using Predicate = Rect2;
+  static constexpr double kLambda = 4.0;
+
+  static bool Matches(const Rect2& q, const WPoint2D& e) {
+    return q.x1 <= e.x && e.x <= q.x2 && q.y1 <= e.y && e.y <= q.y2;
+  }
+};
+
+}  // namespace topk::range2d
+
+#endif  // TOPK_RANGE2D_POINT2D_H_

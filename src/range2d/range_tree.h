@@ -1,0 +1,220 @@
+// Range-tree structures for 2D orthogonal range reporting.
+//
+//   * RangeTreePrioritized — a balanced tree over the x-sorted points;
+//     each node owns a priority search tree over (y, weight) for its
+//     x-contiguous slice. A query decomposes [x1, x2] into O(log n)
+//     canonical nodes and runs a three-sided PST query
+//     (y in [y1, y2], w >= tau) on each: O(log^2 n + t) time,
+//     O(n log n) space, no duplicates (canonical slices are disjoint).
+//   * RangeTreeMax — same skeleton with a sparse-table range max per
+//     node: O(log^2 n) max queries.
+//
+// Local-index convention: the per-node 1D structures store Point1D
+// entries whose `id` is the index into the node's own element slice,
+// kept in ascending *global id* order so that 1D weight tie-breaking
+// agrees with the global (weight, id) order.
+
+#ifndef TOPK_RANGE2D_RANGE_TREE_H_
+#define TOPK_RANGE2D_RANGE_TREE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/weighted.h"
+#include "range1d/point1d.h"
+#include "range1d/pst.h"
+#include "range1d/range_max.h"
+#include "range2d/point2d.h"
+
+namespace topk::range2d {
+
+// Shared skeleton: implicit balanced tree over the x-sorted points with
+// an Inner 1D structure per node, plus canonical decomposition of
+// [x1, x2]. Inner is built from a vector of Point1D (y as key).
+template <typename Inner>
+class XRangeTree {
+ public:
+  XRangeTree() = default;
+
+  explicit XRangeTree(std::vector<WPoint2D> data)
+      : points_(std::move(data)) {
+    std::sort(points_.begin(), points_.end(),
+              [](const WPoint2D& a, const WPoint2D& b) {
+                if (a.x != b.x) return a.x < b.x;
+                return a.id < b.id;
+              });
+    if (!points_.empty()) root_ = Build(0, points_.size());
+  }
+
+  size_t size() const { return points_.size(); }
+  const WPoint2D& point(size_t node, size_t local) const {
+    return points_[nodes_[node].begin + local_order_[node][local]];
+  }
+
+  // Visits the canonical nodes covering x in [x1, x2]:
+  // visit(node_index, inner) returning false stops.
+  template <typename Visit>
+  void VisitCanonical(double x1, double x2, Visit&& visit,
+                      QueryStats* stats) const {
+    if (points_.empty() || x1 > x2) return;
+    const size_t lo = LowerBound(x1);
+    const size_t hi = UpperBound(x2);
+    if (lo >= hi) return;
+    VisitAt(root_, lo, hi, visit, stats);
+  }
+
+ private:
+  struct Node {
+    size_t begin, end;
+    Inner inner;
+    int32_t left = -1, right = -1;
+    Node(size_t b, size_t e, Inner in)
+        : begin(b), end(e), inner(std::move(in)) {}
+  };
+
+  int32_t Build(size_t begin, size_t end) {
+    // Node slice ordered by global id so local 1D tie-breaks match the
+    // global order (see header comment).
+    std::vector<uint32_t> order(end - begin);
+    for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](uint32_t a, uint32_t b) {
+                return points_[begin + a].id < points_[begin + b].id;
+              });
+    std::vector<range1d::Point1D> slice(end - begin);
+    for (size_t i = 0; i < slice.size(); ++i) {
+      const WPoint2D& p = points_[begin + order[i]];
+      slice[i] = {p.y, p.weight, i};
+    }
+    const int32_t idx = static_cast<int32_t>(nodes_.size());
+    nodes_.emplace_back(begin, end, Inner(std::move(slice)));
+    local_order_.push_back(std::move(order));
+    if (end - begin > 1) {
+      const size_t mid = begin + (end - begin) / 2;
+      const int32_t l = Build(begin, mid);
+      const int32_t r = Build(mid, end);
+      nodes_[idx].left = l;
+      nodes_[idx].right = r;
+    }
+    return idx;
+  }
+
+  size_t LowerBound(double v) const {
+    return static_cast<size_t>(
+        std::lower_bound(points_.begin(), points_.end(), v,
+                         [](const WPoint2D& p, double x) { return p.x < x; }) -
+        points_.begin());
+  }
+
+  size_t UpperBound(double v) const {
+    return static_cast<size_t>(
+        std::upper_bound(points_.begin(), points_.end(), v,
+                         [](double x, const WPoint2D& p) { return x < p.x; }) -
+        points_.begin());
+  }
+
+  template <typename Visit>
+  bool VisitAt(int32_t idx, size_t lo, size_t hi, Visit& visit,
+               QueryStats* stats) const {
+    if (idx < 0) return true;
+    const Node& node = nodes_[idx];
+    if (hi <= node.begin || lo >= node.end) return true;
+    AddNodes(stats, 1);
+    if (lo <= node.begin && node.end <= hi) {
+      return visit(static_cast<size_t>(idx), node.inner);
+    }
+    return VisitAt(node.left, lo, hi, visit, stats) &&
+           VisitAt(node.right, lo, hi, visit, stats);
+  }
+
+  std::vector<WPoint2D> points_;  // x-sorted
+  std::vector<Node> nodes_;
+  std::vector<std::vector<uint32_t>> local_order_;  // node -> slice order
+  int32_t root_ = -1;
+};
+
+class RangeTreePrioritized {
+ public:
+  using Element = WPoint2D;
+  using Predicate = Rect2;
+
+  explicit RangeTreePrioritized(std::vector<WPoint2D> data)
+      : tree_(std::move(data)) {}
+
+  size_t size() const { return tree_.size(); }
+
+  static double QueryCostBound(size_t n, size_t block_size) {
+    if (n < 2) return 1.0;
+    const double lg_b = std::log2(static_cast<double>(
+        block_size < 2 ? size_t{2} : block_size));
+    const double lg_n = std::log2(static_cast<double>(n));
+    return std::max(1.0, lg_n * lg_n / lg_b);
+  }
+
+  template <typename Emit>
+  void QueryPrioritized(const Rect2& q, double tau, Emit&& emit,
+                        QueryStats* stats = nullptr) const {
+    bool keep_going = true;
+    tree_.VisitCanonical(
+        q.x1, q.x2,
+        [&](size_t node, const range1d::PrioritySearchTree& pst) {
+          pst.QueryPrioritized(
+              {q.y1, q.y2}, tau,
+              [&](const range1d::Point1D& p) {
+                return keep_going = emit(tree_.point(node, p.id));
+              },
+              stats);
+          return keep_going;
+        },
+        stats);
+  }
+
+ private:
+  XRangeTree<range1d::PrioritySearchTree> tree_;
+};
+
+class RangeTreeMax {
+ public:
+  using Element = WPoint2D;
+  using Predicate = Rect2;
+
+  explicit RangeTreeMax(std::vector<WPoint2D> data)
+      : tree_(std::move(data)) {}
+
+  size_t size() const { return tree_.size(); }
+
+  static double QueryCostBound(size_t n, size_t block_size) {
+    return RangeTreePrioritized::QueryCostBound(n, block_size);
+  }
+
+  std::optional<WPoint2D> QueryMax(const Rect2& q,
+                                   QueryStats* stats = nullptr) const {
+    std::optional<WPoint2D> best;
+    tree_.VisitCanonical(
+        q.x1, q.x2,
+        [&](size_t node, const range1d::RangeMax& rm) {
+          std::optional<range1d::Point1D> hit =
+              rm.QueryMax({q.y1, q.y2}, stats);
+          if (hit.has_value()) {
+            const WPoint2D& p = tree_.point(node, hit->id);
+            if (!best.has_value() || HeavierThan(p, *best)) best = p;
+          }
+          return true;
+        },
+        stats);
+    return best;
+  }
+
+ private:
+  XRangeTree<range1d::RangeMax> tree_;
+};
+
+}  // namespace topk::range2d
+
+#endif  // TOPK_RANGE2D_RANGE_TREE_H_

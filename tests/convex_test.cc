@@ -1,0 +1,214 @@
+// Convex hull, extreme-point binary search, and onion peeling.
+
+#include "halfspace/convex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "halfspace/convex_layers.h"
+#include "halfspace/point2.h"
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+using halfspace::ConvexHull;
+using halfspace::ConvexLayers;
+using halfspace::Halfplane;
+using halfspace::HalfplaneProblem;
+using halfspace::Point2W;
+
+std::vector<Point2W> RandomPoints(size_t n, Rng* rng) {
+  std::vector<Point2W> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = Point2W{rng->NextDouble() * 2 - 1, rng->NextDouble() * 2 - 1,
+                     rng->NextDouble() * 1000.0, i + 1};
+  }
+  return out;
+}
+
+std::vector<Point2W> GridPoints(size_t side, Rng* rng) {
+  std::vector<Point2W> out;
+  uint64_t id = 1;
+  for (size_t i = 0; i < side; ++i) {
+    for (size_t j = 0; j < side; ++j) {
+      out.push_back(Point2W{static_cast<double>(i), static_cast<double>(j),
+                            rng->NextDouble() * 100, id++});
+    }
+  }
+  return out;
+}
+
+double BruteMaxDot(const std::vector<Point2W>& pts, double nx, double ny) {
+  double best = -1e300;
+  for (const Point2W& p : pts) best = std::max(best, nx * p.x + ny * p.y);
+  return best;
+}
+
+TEST(ConvexHull, SmallCases) {
+  EXPECT_TRUE(ConvexHull(std::vector<Point2W>{}).empty());
+  ConvexHull one({{1, 2, 0, 1}});
+  EXPECT_EQ(one.num_vertices(), 1u);
+  EXPECT_DOUBLE_EQ(one.MaxDot(1, 0), 1.0);
+  ConvexHull two({{0, 0, 0, 1}, {1, 1, 0, 2}});
+  EXPECT_EQ(two.num_vertices(), 2u);
+  EXPECT_DOUBLE_EQ(two.MaxDot(1, 1), 2.0);
+}
+
+TEST(ConvexHull, CollinearInput) {
+  std::vector<Point2W> pts;
+  for (uint64_t i = 0; i < 10; ++i) {
+    pts.push_back({static_cast<double>(i), static_cast<double>(2 * i), 0,
+                   i + 1});
+  }
+  ConvexHull hull(pts);
+  EXPECT_EQ(hull.num_vertices(), 2u);  // strict hull: endpoints only
+  EXPECT_DOUBLE_EQ(hull.MaxDot(1, 0), 9.0);
+  EXPECT_DOUBLE_EQ(hull.MaxDot(-1, 0), 0.0);
+}
+
+TEST(ConvexHull, VerticalLineInput) {
+  std::vector<Point2W> pts;
+  for (uint64_t i = 0; i < 8; ++i) {
+    pts.push_back({1.0, static_cast<double>(i), 0, i + 1});
+  }
+  ConvexHull hull(pts);
+  EXPECT_EQ(hull.num_vertices(), 2u);
+  EXPECT_DOUBLE_EQ(hull.MaxDot(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(hull.MaxDot(0, -1), 0.0);
+}
+
+TEST(ConvexHull, ExtremeMatchesLinearScanOnLargeHulls) {
+  // Points on a circle -> all are hull vertices -> exercises the binary
+  // search path (m > 32).
+  Rng rng(3);
+  std::vector<Point2W> pts;
+  const size_t m = 500;
+  for (size_t i = 0; i < m; ++i) {
+    const double a = 2 * 3.14159265358979 * static_cast<double>(i) /
+                     static_cast<double>(m);
+    pts.push_back({std::cos(a), std::sin(a), 0.0, i + 1});
+  }
+  ConvexHull hull(pts);
+  ASSERT_GT(hull.num_vertices(), 32u);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double a = rng.NextDouble() * 2 * 3.14159265358979;
+    const double nx = std::cos(a), ny = std::sin(a);
+    EXPECT_NEAR(hull.MaxDot(nx, ny), BruteMaxDot(pts, nx, ny), 1e-9);
+  }
+  // Axis directions (vertical-edge corner cases).
+  for (auto [nx, ny] : {std::pair{1.0, 0.0}, {-1.0, 0.0}, {0.0, 1.0},
+                        {0.0, -1.0}}) {
+    EXPECT_NEAR(hull.MaxDot(nx, ny), BruteMaxDot(pts, nx, ny), 1e-9);
+  }
+}
+
+TEST(ConvexHull, ExtremeOnGridWithVerticalEdges) {
+  Rng rng(4);
+  std::vector<Point2W> pts = GridPoints(30, &rng);  // big square grid
+  ConvexHull hull(pts);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double a = rng.NextDouble() * 2 * 3.14159265358979;
+    const double nx = std::cos(a), ny = std::sin(a);
+    EXPECT_NEAR(hull.MaxDot(nx, ny), BruteMaxDot(pts, nx, ny), 1e-9);
+  }
+}
+
+TEST(ConvexLayers, EveryPointOnExactlyOneLayer) {
+  Rng rng(5);
+  std::vector<Point2W> pts = RandomPoints(1000, &rng);
+  ConvexLayers layers(pts);
+  size_t total = 0;
+  std::vector<uint64_t> seen;
+  for (size_t l = 0; l < layers.num_layers(); ++l) {
+    total += layers.layer(l).num_vertices();
+    for (const Point2W& v : layers.layer(l).ring()) seen.push_back(v.id);
+  }
+  EXPECT_EQ(total, pts.size());
+  std::sort(seen.begin(), seen.end());
+  EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end());
+}
+
+TEST(ConvexLayers, DuplicatePointsSurviveToDeeperLayers) {
+  std::vector<Point2W> pts;
+  for (uint64_t i = 1; i <= 6; ++i) pts.push_back({1.0, 1.0, 0, i});
+  ConvexLayers layers(pts);
+  size_t total = 0;
+  for (size_t l = 0; l < layers.num_layers(); ++l) {
+    total += layers.layer(l).num_vertices();
+  }
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(ConvexLayers, ReportMatchesBruteForce) {
+  Rng rng(6);
+  for (size_t n : {size_t{1}, size_t{2}, size_t{40}, size_t{500}}) {
+    std::vector<Point2W> pts = RandomPoints(n, &rng);
+    ConvexLayers layers(pts);
+    for (int trial = 0; trial < 40; ++trial) {
+      const double a = rng.NextDouble() * 2 * 3.14159265358979;
+      const Halfplane h{std::cos(a), std::sin(a),
+                        rng.NextDouble() * 2 - 1};
+      std::vector<Point2W> got;
+      layers.Report(
+          h,
+          [&got](const Point2W& p) {
+            got.push_back(p);
+            return true;
+          },
+          nullptr);
+      std::vector<Point2W> want;
+      for (const Point2W& p : pts) {
+        if (HalfplaneProblem::Matches(h, p)) want.push_back(p);
+      }
+      ASSERT_EQ(test::SortedIdsOf(got), test::SortedIdsOf(want))
+          << "n=" << n << " h=(" << h.nx << "," << h.ny << "," << h.c << ")";
+    }
+  }
+}
+
+TEST(ConvexLayers, ReportOnGrid) {
+  Rng rng(7);
+  std::vector<Point2W> pts = GridPoints(12, &rng);
+  ConvexLayers layers(pts);
+  for (int trial = 0; trial < 60; ++trial) {
+    const double a = rng.NextDouble() * 2 * 3.14159265358979;
+    const Halfplane h{std::cos(a), std::sin(a), rng.NextDouble() * 12 - 2};
+    std::vector<Point2W> got;
+    layers.Report(
+        h,
+        [&got](const Point2W& p) {
+          got.push_back(p);
+          return true;
+        },
+        nullptr);
+    std::vector<Point2W> want;
+    for (const Point2W& p : pts) {
+      if (HalfplaneProblem::Matches(h, p)) want.push_back(p);
+    }
+    ASSERT_EQ(test::SortedIdsOf(got), test::SortedIdsOf(want));
+  }
+}
+
+TEST(ConvexLayers, EarlyTermination) {
+  Rng rng(8);
+  ConvexLayers layers(RandomPoints(400, &rng));
+  size_t seen = 0;
+  const bool finished = layers.Report(
+      Halfplane{1, 0, -10},  // everything qualifies
+      [&seen](const Point2W&) {
+        ++seen;
+        return seen < 11;
+      },
+      nullptr);
+  EXPECT_FALSE(finished);
+  EXPECT_EQ(seen, 11u);
+}
+
+}  // namespace
+}  // namespace topk

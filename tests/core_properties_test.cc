@@ -1,0 +1,247 @@
+// Cross-cutting properties of the core framework:
+//   * the structure concepts accept every shipped structure;
+//   * MonitoredQuery budget semantics at exact boundaries;
+//   * determinism: same data + seed => identical structures and answers;
+//   * emission-order independence: the reductions stay exact over a
+//     prioritized structure that emits in the most adversarial order
+//     (ascending weight — the opposite of every shipped structure);
+//   * results are always sorted heaviest-first;
+//   * QueryStats accumulation.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "circle/circular.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/binary_search_topk.h"
+#include "core/core_set_topk.h"
+#include "core/problem.h"
+#include "core/sampled_topk.h"
+#include "core/sink.h"
+#include "dominance/point3.h"
+#include "enclosure/enclosure_structures.h"
+#include "halfspace/halfspace_structures.h"
+#include "interval/interval_tree_stab.h"
+#include "interval/seg_stab.h"
+#include "interval/stab_max.h"
+#include "range1d/dyn_pst.h"
+#include "range1d/dyn_range_max.h"
+#include "range1d/pst.h"
+#include "range1d/range_max.h"
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+using range1d::Point1D;
+using range1d::PrioritySearchTree;
+using range1d::Range1D;
+using range1d::Range1DProblem;
+using range1d::RangeMax;
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// --- Concepts accept every shipped structure ---------------------------
+
+static_assert(ProblemDef<Range1DProblem>);
+static_assert(ProblemDef<interval::StabProblem>);
+static_assert(ProblemDef<enclosure::EnclosureProblem>);
+static_assert(ProblemDef<halfspace::HalfplaneProblem>);
+static_assert(ProblemDef<dominance::DominanceProblem>);
+static_assert(ProblemDef<circle::CircularProblem>);
+
+static_assert(PrioritizedStructure<PrioritySearchTree, Range1DProblem>);
+static_assert(PrioritizedStructure<range1d::DynamicPst, Range1DProblem>);
+static_assert(
+    PrioritizedStructure<interval::SegmentStabbing, interval::StabProblem>);
+static_assert(PrioritizedStructure<interval::IntervalTreeStab,
+                                   interval::StabProblem>);
+static_assert(PrioritizedStructure<enclosure::EnclosurePrioritized,
+                                   enclosure::EnclosureProblem>);
+static_assert(PrioritizedStructure<halfspace::HalfspacePrioritized,
+                                   halfspace::HalfplaneProblem>);
+static_assert(PrioritizedStructure<dominance::DominanceKdTree,
+                                   dominance::DominanceProblem>);
+static_assert(
+    PrioritizedStructure<circle::CircularKdTree, circle::CircularProblem>);
+
+static_assert(MaxStructure<RangeMax, Range1DProblem>);
+static_assert(MaxStructure<range1d::DynamicRangeMax, Range1DProblem>);
+static_assert(MaxStructure<interval::SlabStabMax, interval::StabProblem>);
+static_assert(
+    MaxStructure<enclosure::EnclosureMax, enclosure::EnclosureProblem>);
+static_assert(
+    MaxStructure<halfspace::HalfspaceMax, halfspace::HalfplaneProblem>);
+static_assert(
+    MaxStructure<dominance::DominanceKdTree, dominance::DominanceProblem>);
+
+// --- MonitoredQuery boundary semantics ----------------------------------
+
+TEST(MonitoredQuery, BudgetBoundaries) {
+  Rng rng(1);
+  std::vector<Point1D> data = test::RandomPoints1D(100, &rng);
+  PrioritySearchTree pst(data);
+  const Range1D all{0.0, 1.0};
+
+  auto r0 = MonitoredQuery(pst, all, kNegInf, 0, nullptr);
+  EXPECT_TRUE(r0.hit_budget);
+  EXPECT_TRUE(r0.elements.empty());
+
+  // budget == |result|: every element is fetched but the budget is hit,
+  // so the caller cannot distinguish completeness — exactly the paper's
+  // "4K+1" idiom requires one extra slot.
+  auto r100 = MonitoredQuery(pst, all, kNegInf, 100, nullptr);
+  EXPECT_TRUE(r100.hit_budget);
+  EXPECT_EQ(r100.elements.size(), 100u);
+
+  auto r101 = MonitoredQuery(pst, all, kNegInf, 101, nullptr);
+  EXPECT_FALSE(r101.hit_budget);
+  EXPECT_EQ(r101.elements.size(), 100u);
+}
+
+TEST(MonitoredQuery, ChargesStats) {
+  Rng rng(2);
+  PrioritySearchTree pst(test::RandomPoints1D(100, &rng));
+  QueryStats stats;
+  MonitoredQuery(pst, Range1D{0.0, 1.0}, kNegInf, 50, &stats);
+  EXPECT_EQ(stats.prioritized_queries, 1u);
+  EXPECT_EQ(stats.elements_emitted, 50u);
+  EXPECT_GT(stats.nodes_visited, 0u);
+}
+
+// --- Determinism --------------------------------------------------------
+
+TEST(Determinism, SameSeedSameAnswersAndStats) {
+  Rng rng(3);
+  std::vector<Point1D> data = test::RandomPoints1D(20000, &rng);
+  ReductionOptions opts;
+  opts.seed = 777;
+  using S = CoreSetTopK<Range1DProblem, PrioritySearchTree>;
+  S a(data, opts), b(data, opts);
+  EXPECT_EQ(a.f(), b.f());
+  EXPECT_EQ(a.num_chain_levels(), b.num_chain_levels());
+  for (int trial = 0; trial < 20; ++trial) {
+    double lo = rng.NextDouble(), hi = rng.NextDouble();
+    if (lo > hi) std::swap(lo, hi);
+    QueryStats sa, sb;
+    auto ra = a.Query({lo, hi}, 25, &sa);
+    auto rb = b.Query({lo, hi}, 25, &sb);
+    EXPECT_EQ(test::IdsOf(ra), test::IdsOf(rb));
+    EXPECT_EQ(sa.nodes_visited, sb.nodes_visited);
+    EXPECT_EQ(sa.fallbacks, sb.fallbacks);
+  }
+}
+
+TEST(Determinism, DifferentSeedsStillExact) {
+  Rng rng(4);
+  std::vector<Point1D> data = test::RandomPoints1D(10000, &rng);
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    ReductionOptions opts;
+    opts.seed = seed;
+    SampledTopK<Range1DProblem, PrioritySearchTree, RangeMax> s(data, opts);
+    auto got = s.Query({0.1, 0.9}, 40);
+    auto want = test::BruteTopK<Range1DProblem>(data, {0.1, 0.9}, 40);
+    EXPECT_EQ(test::IdsOf(got), test::IdsOf(want)) << "seed=" << seed;
+  }
+}
+
+// --- Emission-order independence ----------------------------------------
+
+// A deliberately hostile prioritized structure: correct result set, but
+// emitted in ASCENDING weight order (the least helpful order possible).
+class AscendingPri {
+ public:
+  using Element = Point1D;
+  using Predicate = Range1D;
+
+  explicit AscendingPri(std::vector<Point1D> data) : data_(std::move(data)) {
+    std::sort(data_.begin(), data_.end(), [](const auto& a, const auto& b) {
+      return !HeavierThan(a, b);
+    });
+  }
+
+  size_t size() const { return data_.size(); }
+
+  static double QueryCostBound(size_t n, size_t block_size) {
+    return PrioritySearchTree::QueryCostBound(n, block_size);
+  }
+
+  template <typename Emit>
+  void QueryPrioritized(const Range1D& q, double tau, Emit&& emit,
+                        QueryStats* stats = nullptr) const {
+    AddNodes(stats, 1);
+    for (const Point1D& p : data_) {  // ascending weight
+      if (Range1DProblem::Matches(q, p) && MeetsThreshold(p, tau)) {
+        if (!emit(p)) return;
+      }
+    }
+  }
+
+ private:
+  std::vector<Point1D> data_;  // ascending by weight
+};
+
+static_assert(PrioritizedStructure<AscendingPri, Range1DProblem>);
+
+TEST(EmissionOrder, ReductionsExactOverAscendingEmitter) {
+  Rng rng(5);
+  std::vector<Point1D> data = test::RandomPoints1D(8000, &rng);
+  CoreSetTopK<Range1DProblem, AscendingPri> thm1(data);
+  SampledTopK<Range1DProblem, AscendingPri, RangeMax> thm2(data);
+  for (int trial = 0; trial < 15; ++trial) {
+    double lo = rng.NextDouble(), hi = rng.NextDouble();
+    if (lo > hi) std::swap(lo, hi);
+    for (size_t k : {size_t{1}, size_t{20}, size_t{500}, size_t{8000}}) {
+      auto want = test::BruteTopK<Range1DProblem>(data, {lo, hi}, k);
+      ASSERT_EQ(test::IdsOf(thm1.Query({lo, hi}, k)), test::IdsOf(want));
+      ASSERT_EQ(test::IdsOf(thm2.Query({lo, hi}, k)), test::IdsOf(want));
+    }
+  }
+}
+
+// --- Output ordering invariant -------------------------------------------
+
+TEST(OutputOrder, AlwaysHeaviestFirst) {
+  Rng rng(6);
+  std::vector<Point1D> data = test::ClumpedPoints1D(5000, &rng);
+  CoreSetTopK<Range1DProblem, PrioritySearchTree> thm1(data);
+  SampledTopK<Range1DProblem, PrioritySearchTree, RangeMax> thm2(data);
+  BinarySearchTopK<Range1DProblem, PrioritySearchTree> base(data);
+  auto check_sorted = [](const std::vector<Point1D>& result) {
+    for (size_t i = 1; i < result.size(); ++i) {
+      ASSERT_TRUE(HeavierThan(result[i - 1], result[i]));
+    }
+  };
+  for (int trial = 0; trial < 10; ++trial) {
+    const double lo = rng.NextDouble() * 5000, hi = lo + 2000;
+    check_sorted(thm1.Query({lo, hi}, 100));
+    check_sorted(thm2.Query({lo, hi}, 100));
+    check_sorted(base.Query({lo, hi}, 100));
+  }
+}
+
+// --- Stats accumulation ---------------------------------------------------
+
+TEST(QueryStatsTest, AccumulateAndReset) {
+  QueryStats a, b;
+  a.nodes_visited = 5;
+  a.rounds = 2;
+  b.nodes_visited = 7;
+  b.fallbacks = 1;
+  a += b;
+  EXPECT_EQ(a.nodes_visited, 12u);
+  EXPECT_EQ(a.rounds, 2u);
+  EXPECT_EQ(a.fallbacks, 1u);
+  a.Reset();
+  EXPECT_EQ(a.nodes_visited, 0u);
+  EXPECT_EQ(a.fallbacks, 0u);
+}
+
+}  // namespace
+}  // namespace topk

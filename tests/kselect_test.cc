@@ -1,0 +1,131 @@
+#include "common/kselect.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/weighted.h"
+#include "range1d/point1d.h"
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+using range1d::Point1D;
+
+TEST(WeightOrder, HeavierThanIsStrictTotalOrder) {
+  Point1D a{0, 1.0, 1}, b{0, 2.0, 2}, c{0, 2.0, 3};
+  EXPECT_TRUE(HeavierThan(b, a));
+  EXPECT_FALSE(HeavierThan(a, b));
+  // Equal weights break ties by id.
+  EXPECT_TRUE(HeavierThan(c, b));
+  EXPECT_FALSE(HeavierThan(b, c));
+  EXPECT_FALSE(HeavierThan(b, b));
+}
+
+TEST(WeightOrder, MeetsThresholdIsInclusive) {
+  Point1D a{0, 5.0, 1};
+  EXPECT_TRUE(MeetsThreshold(a, 5.0));
+  EXPECT_TRUE(MeetsThreshold(a, 4.9));
+  EXPECT_FALSE(MeetsThreshold(a, 5.1));
+}
+
+TEST(KSelect, EmptyPool) {
+  std::vector<Point1D> pool;
+  SelectTopK(&pool, 5);
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(KSelect, KZeroClearsPool) {
+  std::vector<Point1D> pool{{0, 1, 1}, {0, 2, 2}};
+  SelectTopK(&pool, 0);
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(KSelect, KLargerThanPoolKeepsAllSorted) {
+  std::vector<Point1D> pool{{0, 1, 1}, {0, 3, 2}, {0, 2, 3}};
+  SelectTopK(&pool, 10);
+  ASSERT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool[0].id, 2u);
+  EXPECT_EQ(pool[1].id, 3u);
+  EXPECT_EQ(pool[2].id, 1u);
+}
+
+TEST(KSelect, SelectsExactTopKDescending) {
+  Rng rng(7);
+  for (size_t n : {1u, 2u, 17u, 100u, 1000u}) {
+    std::vector<Point1D> data = test::RandomPoints1D(n, &rng);
+    for (size_t k : {size_t{1}, n / 2, n}) {
+      std::vector<Point1D> expected = data;
+      std::sort(expected.begin(), expected.end(), ByWeightDesc());
+      if (expected.size() > k) expected.resize(k);
+
+      std::vector<Point1D> pool = data;
+      SelectTopK(&pool, k);
+      EXPECT_EQ(test::IdsOf(pool), test::IdsOf(expected));
+    }
+  }
+}
+
+TEST(KSelect, UnorderedVariantKeepsSameSet) {
+  Rng rng(11);
+  std::vector<Point1D> data = test::RandomPoints1D(500, &rng);
+  std::vector<Point1D> sorted = data;
+  SelectTopK(&sorted, 40);
+  std::vector<Point1D> unordered = data;
+  SelectTopKUnordered(&unordered, 40);
+  EXPECT_EQ(test::SortedIdsOf(sorted), test::SortedIdsOf(unordered));
+}
+
+TEST(KSelect, DuplicateWeightsResolvedById) {
+  Rng rng(13);
+  std::vector<Point1D> data = test::ClumpedPoints1D(300, &rng);
+  std::vector<Point1D> pool = data;
+  SelectTopK(&pool, 25);
+  std::vector<Point1D> expected = data;
+  std::sort(expected.begin(), expected.end(), ByWeightDesc());
+  expected.resize(25);
+  EXPECT_EQ(test::IdsOf(pool), test::IdsOf(expected));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(7), 7u);
+    EXPECT_EQ(rng.Below(1), 0u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyFair) {
+  Rng rng(4);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.Bernoulli(0.5) ? 1 : 0;
+  EXPECT_GT(heads, 4700);
+  EXPECT_LT(heads, 5300);
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,77 @@
+#include "range1d/range_max.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "range1d/point1d.h"
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+using range1d::Point1D;
+using range1d::Range1D;
+using range1d::Range1DProblem;
+using range1d::RangeMax;
+
+TEST(RangeMax, EmptyInput) {
+  RangeMax rm({});
+  EXPECT_EQ(rm.size(), 0u);
+  EXPECT_FALSE(rm.QueryMax({0, 1}).has_value());
+}
+
+TEST(RangeMax, SinglePoint) {
+  RangeMax rm({{0.5, 3.0, 9}});
+  auto hit = rm.QueryMax({0.0, 1.0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->id, 9u);
+  EXPECT_FALSE(rm.QueryMax({0.6, 1.0}).has_value());
+  EXPECT_FALSE(rm.QueryMax({0.0, 0.4}).has_value());
+  EXPECT_TRUE(rm.QueryMax({0.5, 0.5}).has_value());
+}
+
+TEST(RangeMax, EmptyRangeBetweenPoints) {
+  RangeMax rm({{0.1, 1, 1}, {0.9, 2, 2}});
+  EXPECT_FALSE(rm.QueryMax({0.2, 0.8}).has_value());
+  EXPECT_FALSE(rm.QueryMax({0.95, 0.05}).has_value());  // inverted range
+}
+
+struct Param {
+  size_t n;
+  uint64_t seed;
+  bool clumped;
+};
+
+class RangeMaxSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(RangeMaxSweep, MatchesBruteForce) {
+  const Param p = GetParam();
+  Rng rng(p.seed);
+  std::vector<Point1D> data = p.clumped
+                                  ? test::ClumpedPoints1D(p.n, &rng)
+                                  : test::RandomPoints1D(p.n, &rng);
+  RangeMax rm(data);
+  const double xmax = p.clumped ? static_cast<double>(p.n) : 1.0;
+  for (int trial = 0; trial < 100; ++trial) {
+    double a = rng.NextDouble() * xmax;
+    double b = rng.NextDouble() * xmax;
+    if (a > b) std::swap(a, b);
+    auto got = rm.QueryMax({a, b});
+    auto want = test::BruteMax<Range1DProblem>(data, {a, b});
+    ASSERT_EQ(got.has_value(), want.has_value());
+    if (got.has_value()) EXPECT_EQ(got->id, want->id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RangeMaxSweep,
+    ::testing::Values(Param{1, 1, false}, Param{2, 2, false},
+                      Param{5, 3, false}, Param{33, 4, false},
+                      Param{256, 5, false}, Param{1000, 6, false},
+                      Param{1023, 7, false}, Param{500, 8, true},
+                      Param{2048, 9, true}));
+
+}  // namespace
+}  // namespace topk

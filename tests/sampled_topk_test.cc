@@ -1,0 +1,105 @@
+// Theorem 2 reduction: exactness across k regimes, round accounting,
+// and behaviour on tiny inputs (no sample levels).
+
+#include "core/sampled_topk.h"
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "range1d/point1d.h"
+#include "range1d/pst.h"
+#include "range1d/range_max.h"
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+using range1d::Point1D;
+using range1d::PrioritySearchTree;
+using range1d::Range1D;
+using range1d::Range1DProblem;
+using range1d::RangeMax;
+
+using TopK = SampledTopK<Range1DProblem, PrioritySearchTree, RangeMax>;
+
+TEST(SampledTopK, EmptyInput) {
+  TopK topk({});
+  EXPECT_TRUE(topk.Query({0, 1}, 5).empty());
+  EXPECT_EQ(topk.num_sample_levels(), 0u);
+}
+
+TEST(SampledTopK, TinyInputHasNoLevelsButAnswers) {
+  Rng rng(1);
+  std::vector<Point1D> data = test::RandomPoints1D(50, &rng);
+  TopK topk(data);
+  EXPECT_EQ(topk.num_sample_levels(), 0u);  // n/4 < B * Q_max
+  auto got = topk.Query({0.0, 1.0}, 5);
+  auto want = test::BruteTopK<Range1DProblem>(data, {0.0, 1.0}, 5);
+  EXPECT_EQ(test::IdsOf(got), test::IdsOf(want));
+}
+
+TEST(SampledTopK, LevelLadderGrowsGeometrically) {
+  Rng rng(2);
+  TopK topk(test::RandomPoints1D(100000, &rng));
+  ASSERT_GT(topk.num_sample_levels(), 1u);
+  // Expected |R_i| = n / K_i decays geometrically; check loosely on the
+  // endpoints.
+  EXPECT_GT(topk.sample_level_size(0),
+            topk.sample_level_size(topk.num_sample_levels() - 1));
+}
+
+TEST(SampledTopK, RoundsAreCounted) {
+  Rng rng(3);
+  TopK topk(test::RandomPoints1D(50000, &rng));
+  QueryStats stats;
+  topk.Query({0.0, 1.0}, 100, &stats);
+  EXPECT_GE(stats.rounds + stats.full_scans, 1u);
+}
+
+struct Param {
+  size_t n;
+  uint64_t seed;
+};
+
+class SampledSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SampledSweep, MatchesBruteForceAcrossKRegimes) {
+  const Param p = GetParam();
+  Rng rng(p.seed);
+  std::vector<Point1D> data = test::RandomPoints1D(p.n, &rng);
+  ReductionOptions opts;
+  opts.seed = p.seed * 31;
+  TopK topk(data, opts);
+
+  std::vector<size_t> ks = {1, 2, 7, 64, 100, 1000, p.n / 2, p.n};
+  for (int trial = 0; trial < 12; ++trial) {
+    double a = rng.NextDouble();
+    double b = rng.NextDouble();
+    if (a > b) std::swap(a, b);
+    if (trial % 4 == 0) {
+      a = 0.0;
+      b = 1.0;
+    }
+    const Range1D q{a, b};
+    for (size_t k : ks) {
+      if (k == 0) continue;
+      auto got = topk.Query(q, k);
+      auto want = test::BruteTopK<Range1DProblem>(data, q, k);
+      ASSERT_EQ(test::IdsOf(got), test::IdsOf(want))
+          << "n=" << p.n << " k=" << k << " q=[" << a << "," << b << "]";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SampledSweep,
+                         ::testing::Values(Param{1, 1}, Param{10, 2},
+                                           Param{100, 3}, Param{1000, 4},
+                                           Param{5000, 5}, Param{30000, 6},
+                                           Param{100000, 7}));
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,102 @@
+// The reverse reduction (Section 1.2): prioritized reporting from a
+// top-k structure by k-doubling.
+
+#include "core/topk_to_prioritized.h"
+
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/core_set_topk.h"
+#include "core/scan_topk.h"
+#include "range1d/point1d.h"
+#include "range1d/pst.h"
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+using range1d::Point1D;
+using range1d::PrioritySearchTree;
+using range1d::Range1D;
+using range1d::Range1DProblem;
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+template <typename Wrapped>
+std::vector<Point1D> Collect(const Wrapped& w, const Range1D& q, double tau) {
+  std::vector<Point1D> out;
+  w.QueryPrioritized(q, tau, [&out](const Point1D& p) {
+    out.push_back(p);
+    return true;
+  });
+  return out;
+}
+
+TEST(TopKToPrioritized, EmptyStructure) {
+  TopKToPrioritized<ScanTopK<Range1DProblem>> w{
+      ScanTopK<Range1DProblem>({})};
+  EXPECT_TRUE(Collect(w, {0, 1}, kNegInf).empty());
+}
+
+TEST(TopKToPrioritized, MatchesBruteForceOverScan) {
+  Rng rng(1);
+  std::vector<Point1D> data = test::RandomPoints1D(777, &rng);
+  TopKToPrioritized<ScanTopK<Range1DProblem>> w{
+      ScanTopK<Range1DProblem>(data), /*initial_k=*/4};
+  for (int trial = 0; trial < 30; ++trial) {
+    double a = rng.NextDouble(), b = rng.NextDouble();
+    if (a > b) std::swap(a, b);
+    for (double tau : {kNegInf, 100.0, 500.0, 999.0}) {
+      auto got = Collect(w, {a, b}, tau);
+      auto want = test::BrutePrioritized<Range1DProblem>(data, {a, b}, tau);
+      ASSERT_EQ(test::SortedIdsOf(got), test::SortedIdsOf(want));
+    }
+  }
+}
+
+// Round trip: prioritized -> top-k (Theorem 1) -> prioritized.
+TEST(TopKToPrioritized, RoundTripThroughCoreSetTopK) {
+  Rng rng(2);
+  std::vector<Point1D> data = test::RandomPoints1D(3000, &rng);
+  using TopK = CoreSetTopK<Range1DProblem, PrioritySearchTree>;
+  TopKToPrioritized<TopK> w{TopK(data)};
+  for (int trial = 0; trial < 10; ++trial) {
+    double a = rng.NextDouble(), b = rng.NextDouble();
+    if (a > b) std::swap(a, b);
+    for (double tau : {kNegInf, 250.0, 900.0}) {
+      auto got = Collect(w, {a, b}, tau);
+      auto want = test::BrutePrioritized<Range1DProblem>(data, {a, b}, tau);
+      ASSERT_EQ(test::SortedIdsOf(got), test::SortedIdsOf(want));
+    }
+  }
+}
+
+TEST(TopKToPrioritized, EarlyTerminationStops) {
+  Rng rng(3);
+  std::vector<Point1D> data = test::RandomPoints1D(500, &rng);
+  TopKToPrioritized<ScanTopK<Range1DProblem>> w{
+      ScanTopK<Range1DProblem>(data)};
+  size_t seen = 0;
+  w.QueryPrioritized({0.0, 1.0}, kNegInf, [&seen](const Point1D&) {
+    ++seen;
+    return seen < 7;
+  });
+  EXPECT_EQ(seen, 7u);
+}
+
+TEST(TopKToPrioritized, EmitsInDescendingWeightOrder) {
+  Rng rng(4);
+  std::vector<Point1D> data = test::RandomPoints1D(400, &rng);
+  TopKToPrioritized<ScanTopK<Range1DProblem>> w{
+      ScanTopK<Range1DProblem>(data)};
+  auto got = Collect(w, {0.0, 1.0}, 300.0);
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_TRUE(HeavierThan(got[i - 1], got[i]));
+  }
+}
+
+}  // namespace
+}  // namespace topk

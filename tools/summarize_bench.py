@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Summarizes a bench_output.txt run into the EXPERIMENTS.md headline tables.
+
+Usage: tools/summarize_bench.py [bench_output.txt]
+
+Extracts, per experiment binary, the google-benchmark rows (name, CPU
+time, counters) or passes through the plain-text tables of the
+measurement binaries (E4/E6/E12/E13/E15/E19/E20), so a fresh run can be
+diffed against the numbers recorded in EXPERIMENTS.md.
+"""
+
+import re
+import signal
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    section = None
+    gbench_row = re.compile(
+        r"^(\S+)\s+(\d+(?:\.\d+)?) ns\s+(\d+(?:\.\d+)?) ns\s+\d+(.*)$")
+    passthrough = False
+    for line in lines:
+        if line.startswith("=== "):
+            section = line.strip("= ").strip()
+            # Plain-table binaries are passed through verbatim.
+            passthrough = section in {
+                "bench_space", "bench_lemmas", "bench_em", "bench_rounds",
+                "bench_ablation", "bench_build", "bench_selectivity",
+            }
+            print(f"\n## {section}")
+            continue
+        if section is None:
+            continue
+        if passthrough:
+            if line.strip():
+                print(f"  {line}")
+            continue
+        m = gbench_row.match(line.strip())
+        if m:
+            name, _, cpu, counters = m.groups()
+            extras = " ".join(
+                tok for tok in counters.split()
+                if "=" in tok and not tok.startswith("bytes_per_second"))
+            cpu_us = float(cpu) / 1000.0
+            print(f"  {name:<32} {cpu_us:>10.2f} us  {extras}")
+    return 0
+
+
+if __name__ == "__main__":
+    # Behave under `| head`.
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    sys.exit(main())
