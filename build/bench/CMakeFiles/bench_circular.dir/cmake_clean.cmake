@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_circular.dir/bench_circular.cc.o"
+  "CMakeFiles/bench_circular.dir/bench_circular.cc.o.d"
+  "bench_circular"
+  "bench_circular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_circular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

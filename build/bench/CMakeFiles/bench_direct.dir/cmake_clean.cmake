@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_direct.dir/bench_direct.cc.o"
+  "CMakeFiles/bench_direct.dir/bench_direct.cc.o.d"
+  "bench_direct"
+  "bench_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dominance.dir/bench_dominance.cc.o"
+  "CMakeFiles/bench_dominance.dir/bench_dominance.cc.o.d"
+  "bench_dominance"
+  "bench_dominance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dominance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

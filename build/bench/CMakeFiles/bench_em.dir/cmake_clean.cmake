@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_em.dir/bench_em.cc.o"
+  "CMakeFiles/bench_em.dir/bench_em.cc.o.d"
+  "bench_em"
+  "bench_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

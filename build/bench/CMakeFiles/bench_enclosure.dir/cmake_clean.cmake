@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_enclosure.dir/bench_enclosure.cc.o"
+  "CMakeFiles/bench_enclosure.dir/bench_enclosure.cc.o.d"
+  "bench_enclosure"
+  "bench_enclosure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enclosure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_range2d.dir/bench_range2d.cc.o"
+  "CMakeFiles/bench_range2d.dir/bench_range2d.cc.o.d"
+  "bench_range2d"
+  "bench_range2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_range2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

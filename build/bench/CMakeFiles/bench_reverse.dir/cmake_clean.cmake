@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reverse.dir/bench_reverse.cc.o"
+  "CMakeFiles/bench_reverse.dir/bench_reverse.cc.o.d"
+  "bench_reverse"
+  "bench_reverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

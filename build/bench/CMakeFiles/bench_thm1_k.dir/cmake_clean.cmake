@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm1_k.dir/bench_thm1_k.cc.o"
+  "CMakeFiles/bench_thm1_k.dir/bench_thm1_k.cc.o.d"
+  "bench_thm1_k"
+  "bench_thm1_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm1_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

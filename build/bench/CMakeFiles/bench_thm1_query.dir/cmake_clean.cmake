@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm1_query.dir/bench_thm1_query.cc.o"
+  "CMakeFiles/bench_thm1_query.dir/bench_thm1_query.cc.o.d"
+  "bench_thm1_query"
+  "bench_thm1_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm1_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

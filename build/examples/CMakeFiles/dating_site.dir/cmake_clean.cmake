@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dating_site.dir/dating_site.cc.o"
+  "CMakeFiles/dating_site.dir/dating_site.cc.o.d"
+  "dating_site"
+  "dating_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dating_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_demo.dir/em_demo.cc.o"
+  "CMakeFiles/em_demo.dir/em_demo.cc.o.d"
+  "em_demo"
+  "em_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_pois.dir/map_pois.cc.o"
+  "CMakeFiles/map_pois.dir/map_pois.cc.o.d"
+  "map_pois"
+  "map_pois.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_pois.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

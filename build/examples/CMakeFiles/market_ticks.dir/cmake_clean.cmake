@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_ticks.dir/market_ticks.cc.o"
+  "CMakeFiles/market_ticks.dir/market_ticks.cc.o.d"
+  "market_ticks"
+  "market_ticks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_ticks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

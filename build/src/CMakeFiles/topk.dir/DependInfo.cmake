@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/em/block_device.cc" "src/CMakeFiles/topk.dir/em/block_device.cc.o" "gcc" "src/CMakeFiles/topk.dir/em/block_device.cc.o.d"
+  "/root/repo/src/em/buffer_pool.cc" "src/CMakeFiles/topk.dir/em/buffer_pool.cc.o" "gcc" "src/CMakeFiles/topk.dir/em/buffer_pool.cc.o.d"
+  "/root/repo/src/halfspace/convex.cc" "src/CMakeFiles/topk.dir/halfspace/convex.cc.o" "gcc" "src/CMakeFiles/topk.dir/halfspace/convex.cc.o.d"
+  "/root/repo/src/halfspace/convex_layers.cc" "src/CMakeFiles/topk.dir/halfspace/convex_layers.cc.o" "gcc" "src/CMakeFiles/topk.dir/halfspace/convex_layers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk.dir/em/block_device.cc.o"
+  "CMakeFiles/topk.dir/em/block_device.cc.o.d"
+  "CMakeFiles/topk.dir/em/buffer_pool.cc.o"
+  "CMakeFiles/topk.dir/em/buffer_pool.cc.o.d"
+  "CMakeFiles/topk.dir/halfspace/convex.cc.o"
+  "CMakeFiles/topk.dir/halfspace/convex.cc.o.d"
+  "CMakeFiles/topk.dir/halfspace/convex_layers.cc.o"
+  "CMakeFiles/topk.dir/halfspace/convex_layers.cc.o.d"
+  "libtopk.a"
+  "libtopk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_search_topk_test.dir/binary_search_topk_test.cc.o"
+  "CMakeFiles/binary_search_topk_test.dir/binary_search_topk_test.cc.o.d"
+  "binary_search_topk_test"
+  "binary_search_topk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_search_topk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

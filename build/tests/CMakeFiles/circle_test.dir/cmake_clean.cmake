@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circle_test.dir/circle_test.cc.o"
+  "CMakeFiles/circle_test.dir/circle_test.cc.o.d"
+  "circle_test"
+  "circle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_set_topk_test.dir/core_set_topk_test.cc.o"
+  "CMakeFiles/core_set_topk_test.dir/core_set_topk_test.cc.o.d"
+  "core_set_topk_test"
+  "core_set_topk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_set_topk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_sweep_test.dir/differential_sweep_test.cc.o"
+  "CMakeFiles/differential_sweep_test.dir/differential_sweep_test.cc.o.d"
+  "differential_sweep_test"
+  "differential_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

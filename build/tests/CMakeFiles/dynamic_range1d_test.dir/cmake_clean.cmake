@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_range1d_test.dir/dynamic_range1d_test.cc.o"
+  "CMakeFiles/dynamic_range1d_test.dir/dynamic_range1d_test.cc.o.d"
+  "dynamic_range1d_test"
+  "dynamic_range1d_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_range1d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_kdtree_test.dir/em_kdtree_test.cc.o"
+  "CMakeFiles/em_kdtree_test.dir/em_kdtree_test.cc.o.d"
+  "em_kdtree_test"
+  "em_kdtree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_kdtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_test.dir/em_test.cc.o"
+  "CMakeFiles/em_test.dir/em_test.cc.o.d"
+  "em_test"
+  "em_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

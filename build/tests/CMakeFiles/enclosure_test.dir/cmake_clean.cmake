@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enclosure_test.dir/enclosure_test.cc.o"
+  "CMakeFiles/enclosure_test.dir/enclosure_test.cc.o.d"
+  "enclosure_test"
+  "enclosure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclosure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halfspace3d_test.dir/halfspace3d_test.cc.o"
+  "CMakeFiles/halfspace3d_test.dir/halfspace3d_test.cc.o.d"
+  "halfspace3d_test"
+  "halfspace3d_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halfspace3d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_tree_stab_test.dir/interval_tree_stab_test.cc.o"
+  "CMakeFiles/interval_tree_stab_test.dir/interval_tree_stab_test.cc.o.d"
+  "interval_tree_stab_test"
+  "interval_tree_stab_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_tree_stab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kselect_test.dir/kselect_test.cc.o"
+  "CMakeFiles/kselect_test.dir/kselect_test.cc.o.d"
+  "kselect_test"
+  "kselect_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kselect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

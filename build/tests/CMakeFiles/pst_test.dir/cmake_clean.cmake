@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pst_test.dir/pst_test.cc.o"
+  "CMakeFiles/pst_test.dir/pst_test.cc.o.d"
+  "pst_test"
+  "pst_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range2d_test.dir/range2d_test.cc.o"
+  "CMakeFiles/range2d_test.dir/range2d_test.cc.o.d"
+  "range2d_test"
+  "range2d_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_max_test.dir/range_max_test.cc.o"
+  "CMakeFiles/range_max_test.dir/range_max_test.cc.o.d"
+  "range_max_test"
+  "range_max_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_max_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_sampling_test.dir/rank_sampling_test.cc.o"
+  "CMakeFiles/rank_sampling_test.dir/rank_sampling_test.cc.o.d"
+  "rank_sampling_test"
+  "rank_sampling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampled_topk_test.dir/sampled_topk_test.cc.o"
+  "CMakeFiles/sampled_topk_test.dir/sampled_topk_test.cc.o.d"
+  "sampled_topk_test"
+  "sampled_topk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampled_topk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

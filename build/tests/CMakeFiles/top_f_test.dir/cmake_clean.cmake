@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/top_f_test.dir/top_f_test.cc.o"
+  "CMakeFiles/top_f_test.dir/top_f_test.cc.o.d"
+  "top_f_test"
+  "top_f_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/top_f_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

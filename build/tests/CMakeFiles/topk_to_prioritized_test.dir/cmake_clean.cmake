@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_to_prioritized_test.dir/topk_to_prioritized_test.cc.o"
+  "CMakeFiles/topk_to_prioritized_test.dir/topk_to_prioritized_test.cc.o.d"
+  "topk_to_prioritized_test"
+  "topk_to_prioritized_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_to_prioritized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
