@@ -32,20 +32,41 @@ struct QueryStats {
   // Full-scan terminations (k = Omega(n) paths and Theorem 2's terminal
   // round).
   uint64_t full_scans = 0;
+  // Elements actually returned to callers (the serving layer's answer
+  // volume, as opposed to elements_emitted which includes discards).
+  uint64_t results_returned = 0;
+
+  // The single authoritative field list. operator+= and every exporter
+  // (serve::Metrics JSON, benchmark counter dumps) iterate this, so a
+  // new counter only ever needs to be added in two places: the member
+  // above and one line here. The static_assert below makes forgetting
+  // this list a compile error rather than a silently dropped counter.
+  template <typename Fn>
+  static constexpr void ForEachField(Fn&& fn) {
+    fn("nodes_visited", &QueryStats::nodes_visited);
+    fn("elements_emitted", &QueryStats::elements_emitted);
+    fn("prioritized_queries", &QueryStats::prioritized_queries);
+    fn("max_queries", &QueryStats::max_queries);
+    fn("rounds", &QueryStats::rounds);
+    fn("fallbacks", &QueryStats::fallbacks);
+    fn("full_scans", &QueryStats::full_scans);
+    fn("results_returned", &QueryStats::results_returned);
+  }
 
   void Reset() { *this = QueryStats(); }
 
   QueryStats& operator+=(const QueryStats& o) {
-    nodes_visited += o.nodes_visited;
-    elements_emitted += o.elements_emitted;
-    prioritized_queries += o.prioritized_queries;
-    max_queries += o.max_queries;
-    rounds += o.rounds;
-    fallbacks += o.fallbacks;
-    full_scans += o.full_scans;
+    ForEachField([this, &o](const char*, auto member) {
+      this->*member += o.*member;
+    });
     return *this;
   }
 };
+
+// Adding a QueryStats counter? Extend ForEachField above and bump this
+// count — the assert fires on any field the list does not cover.
+static_assert(sizeof(QueryStats) == 8 * sizeof(uint64_t),
+              "QueryStats field added: update ForEachField and this count");
 
 // Increment helpers tolerating a null stats pointer (the convention for
 // callers that do not need accounting).

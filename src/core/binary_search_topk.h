@@ -76,6 +76,9 @@ class BinarySearchTopK {
  public:
   using Element = typename Problem::Element;
   using Predicate = typename Problem::Predicate;
+  // Substrate export, consumed by serve/shareable.h's recursive
+  // thread-shareability check.
+  using Prioritized = Pri;
 
   explicit BinarySearchTopK(std::vector<Element> data)
       : weights_desc_(MakeWeights(data)), pri_(std::move(data)) {}

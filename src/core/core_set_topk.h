@@ -53,6 +53,9 @@ class CoreSetTopK {
  public:
   using Element = typename Problem::Element;
   using Predicate = typename Problem::Predicate;
+  // Substrate export, consumed by serve/shareable.h's recursive
+  // thread-shareability check.
+  using Prioritized = Pri;
 
   template <typename Factory = DirectFactory<Pri>>
   explicit CoreSetTopK(std::vector<Element> data,

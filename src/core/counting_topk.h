@@ -40,6 +40,10 @@ class CountingTopK {
  public:
   using Element = typename Problem::Element;
   using Predicate = typename Problem::Predicate;
+  // Substrate exports, consumed by serve/shareable.h's recursive
+  // thread-shareability check.
+  using Prioritized = Pri;
+  using CounterStructure = Counter;
 
   explicit CountingTopK(std::vector<Element> data)
       : counter_(data), pri_(MakeWeightsAndPass(&data)), n_(pri_.size()) {}

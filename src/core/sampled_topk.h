@@ -55,6 +55,10 @@ class SampledTopK {
  public:
   using Element = typename Problem::Element;
   using Predicate = typename Problem::Predicate;
+  // Substrate exports, consumed by serve/shareable.h's recursive
+  // thread-shareability check.
+  using Prioritized = Pri;
+  using MaxSubstrate = Max;
 
   // Membership bookkeeping (id -> sampled levels) is only needed to
   // support Erase; skip it entirely for static instantiations.

@@ -13,6 +13,7 @@ BufferPool::BufferPool(BlockDevice* device, size_t capacity)
 BufferPool::~BufferPool() { FlushAll(); }
 
 uint8_t* BufferPool::Pin(uint64_t page_id, bool mark_dirty) {
+  TOPK_CHECK(page_id < device_->num_pages());  // must be allocated
   auto it = frames_.find(page_id);
   if (it != frames_.end()) {
     Frame& frame = it->second;
@@ -38,6 +39,10 @@ uint8_t* BufferPool::Pin(uint64_t page_id, bool mark_dirty) {
 }
 
 uint8_t* BufferPool::PinFresh(uint64_t page_id) {
+  // A "fresh" page must be device-allocated but not resident: pinning a
+  // resident page through PinFresh would skip the read that Pin charges
+  // and silently halve the write path's I/O counts (and vice versa).
+  TOPK_CHECK(page_id < device_->num_pages());
   TOPK_CHECK(frames_.find(page_id) == frames_.end());
   while (frames_.size() >= capacity_) Evict();
   Frame& frame = frames_[page_id];
@@ -72,8 +77,12 @@ void BufferPool::Evict() {
 }
 
 void BufferPool::FlushAll() {
+  // Enforce the whole-pool precondition before any write-back so a
+  // violation aborts with the pool (and the device's counters) intact.
+  for (const auto& [page_id, frame] : frames_) {
+    TOPK_CHECK(frame.pin_count == 0);  // a pin outlived FlushAll
+  }
   for (auto& [page_id, frame] : frames_) {
-    TOPK_CHECK(frame.pin_count == 0);
     if (frame.dirty) device_->Write(page_id, frame.data.data());
   }
   frames_.clear();

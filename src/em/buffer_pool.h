@@ -5,6 +5,13 @@
 // (that is the whole point of M >= 2B). Unpinned dirty frames are
 // written back on eviction. Eviction is strict LRU over unpinned
 // frames.
+//
+// Pin discipline is enforced with TOPK_CHECK (misuse aborts): pages
+// must be device-allocated, Unpin requires a matching Pin, and FlushAll
+// requires every pin released. The pool is deliberately single-threaded
+// mutable state — even read-only structure queries mutate the LRU list
+// and hit/miss counters — which is why serve::QueryEngine rejects
+// EM-backed structures at compile time (see src/serve/shareable.h).
 
 #ifndef TOPK_EM_BUFFER_POOL_H_
 #define TOPK_EM_BUFFER_POOL_H_
@@ -38,13 +45,17 @@ class BufferPool {
 
   // Pins a freshly allocated page: installs a zeroed frame WITHOUT a
   // device read (writing a brand-new block costs one write at eviction,
-  // not a read — the Aggarwal–Vitter accounting). Marks dirty.
+  // not a read — the Aggarwal–Vitter accounting). Marks dirty. The page
+  // must not already be resident (that would be Pin's job, and taking
+  // this path instead silently drops the read charge).
   uint8_t* PinFresh(uint64_t page_id);
 
+  // Releases one pin. The page must currently be pinned.
   void Unpin(uint64_t page_id);
 
   // Writes back every dirty frame (counts writes) and drops all clean
-  // frames; all pins must have been released.
+  // frames; all pins must have been released (checked before any
+  // write-back happens).
   void FlushAll();
 
   // Cache-hit statistics (model-level observability, not I/Os).

@@ -39,6 +39,9 @@ class EmKdTree {
   using Element = typename Problem::Element;
   using Predicate = typename Problem::Predicate;
   static constexpr int kDims = Geo::kDims;
+  // Queries page through a single-threaded BufferPool; not shareable
+  // across threads (see serve/shareable.h).
+  static constexpr bool kExternalMemory = true;
 
   EmKdTree() = default;
 

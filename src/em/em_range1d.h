@@ -42,6 +42,9 @@ class EmBPlusTree {
  public:
   using Element = range1d::Point1D;
   using Predicate = range1d::Range1D;
+  // Queries page through a single-threaded BufferPool; not shareable
+  // across threads (see serve/shareable.h).
+  static constexpr bool kExternalMemory = true;
 
   EmBPlusTree() = default;
 
@@ -285,6 +288,9 @@ class EmRange1dPrioritized {
  public:
   using Element = range1d::Point1D;
   using Predicate = range1d::Range1D;
+  // Queries page through a single-threaded BufferPool; not shareable
+  // across threads (see serve/shareable.h).
+  static constexpr bool kExternalMemory = true;
 
   EmRange1dPrioritized() = default;
 

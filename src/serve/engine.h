@@ -1,0 +1,119 @@
+// Concurrent batched top-k query engine.
+//
+// A QueryEngine wraps one shared, already-built, const top-k structure
+// and answers batches of (predicate, k) requests on a fixed thread
+// pool. Workers self-schedule requests off an atomic cursor (no
+// per-task queue, so heterogeneous query costs balance automatically),
+// write results into disjoint slots of the output vector, and charge
+// all accounting to thread-local tallies; the only synchronization on
+// the query path is the cursor's fetch_add. After the batch barrier the
+// tallies are merged into an optional serve::Metrics registry.
+//
+// Thread-safety contract: the structure must satisfy
+// ShareableTopKStructure — const-queryable with no hidden mutable
+// state. EM-backed structures fail that concept (their BufferPool is
+// single-threaded mutable state) and are rejected at compile time.
+// Results are bitwise-identical to single-threaded Query calls: the
+// structures are deterministic at query time, so only the interleaving
+// of *accounting* differs — and QueryStats addition is commutative.
+
+#ifndef TOPK_SERVE_ENGINE_H_
+#define TOPK_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "serve/histogram.h"
+#include "serve/metrics.h"
+#include "serve/shareable.h"
+#include "serve/thread_pool.h"
+
+namespace topk::serve {
+
+// One top-k request. Keyed by the predicate type, not the engine, so a
+// batch can be replayed against every structure of the same problem.
+template <typename Predicate>
+struct Request {
+  Predicate predicate;
+  size_t k = 1;
+};
+
+template <ShareableTopKStructure Structure>
+class QueryEngine {
+ public:
+  using Element = typename Structure::Element;
+  using Predicate = typename Structure::Predicate;
+  using Request = serve::Request<Predicate>;
+
+  struct Options {
+    size_t num_threads = 1;
+  };
+
+  // `structure` must outlive the engine. `metrics` may be null (no
+  // registry) or shared between engines; it must outlive the engine.
+  QueryEngine(const Structure* structure, const Options& options,
+              Metrics* metrics = nullptr)
+      : structure_(structure), metrics_(metrics),
+        pool_(options.num_threads) {
+    TOPK_CHECK(structure_ != nullptr);
+  }
+
+  size_t num_threads() const { return pool_.num_threads(); }
+
+  // Answers requests[i] into slot i of the returned vector — order is
+  // preserved regardless of which worker served which request.
+  std::vector<std::vector<Element>> QueryBatch(
+      const std::vector<Request>& requests) {
+    std::vector<std::vector<Element>> results(requests.size());
+    if (requests.empty()) {
+      if (metrics_ != nullptr) {
+        MetricsSnapshot empty;
+        empty.batches = 1;
+        metrics_->Absorb(empty);
+      }
+      return results;
+    }
+
+    std::vector<MetricsSnapshot> tallies(pool_.num_threads());
+    std::atomic<size_t> cursor{0};
+    pool_.RunOnAll([&](size_t worker) {
+      MetricsSnapshot& tally = tallies[worker];
+      for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+           i < requests.size();
+           i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+        const auto start = std::chrono::steady_clock::now();
+        results[i] = structure_->Query(requests[i].predicate,
+                                       requests[i].k, &tally.stats);
+        const auto stop = std::chrono::steady_clock::now();
+        tally.stats.results_returned += results[i].size();
+        tally.latency.Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(stop -
+                                                                 start)
+                .count()));
+        ++tally.queries;
+      }
+    });
+
+    if (metrics_ != nullptr) {
+      MetricsSnapshot batch;
+      batch.batches = 1;
+      for (const MetricsSnapshot& t : tallies) batch.Merge(t);
+      metrics_->Absorb(batch);
+    }
+    return results;
+  }
+
+ private:
+  const Structure* structure_;
+  Metrics* metrics_;
+  ThreadPool pool_;
+};
+
+}  // namespace topk::serve
+
+#endif  // TOPK_SERVE_ENGINE_H_

@@ -1,0 +1,101 @@
+// Log-bucketed latency histogram for the serving layer.
+//
+// Fixed-size (64 power-of-two buckets over nanoseconds, ~0.5 KiB), so
+// Record is a constant-time array increment with no allocation — cheap
+// enough to sit on the per-query hot path. Quantiles are answered by
+// walking the cumulative counts and interpolating linearly inside the
+// bucket containing the requested rank, the standard HdrHistogram-style
+// estimate: exact bucket, ≤ 2x relative error inside it. Min/max/sum
+// are tracked exactly.
+//
+// Not thread-safe by design: each QueryEngine worker records into its
+// own histogram and the engine merges them after the batch barrier.
+
+#ifndef TOPK_SERVE_HISTOGRAM_H_
+#define TOPK_SERVE_HISTOGRAM_H_
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "common/check.h"
+
+namespace topk::serve {
+
+class LatencyHistogram {
+ public:
+  // Bucket i counts values v with bit_width(v) == i, i.e. bucket 0 is
+  // {0}, bucket i >= 1 is [2^(i-1), 2^i).
+  static constexpr size_t kNumBuckets = 65;
+
+  void Record(uint64_t ns) {
+    ++counts_[std::bit_width(ns)];
+    ++total_;
+    sum_ns_ += ns;
+    if (ns < min_ns_) min_ns_ = ns;
+    if (ns > max_ns_) max_ns_ = ns;
+  }
+
+  void Merge(const LatencyHistogram& o) {
+    for (size_t i = 0; i < kNumBuckets; ++i) counts_[i] += o.counts_[i];
+    total_ += o.total_;
+    sum_ns_ += o.sum_ns_;
+    if (o.min_ns_ < min_ns_) min_ns_ = o.min_ns_;
+    if (o.max_ns_ > max_ns_) max_ns_ = o.max_ns_;
+  }
+
+  uint64_t count() const { return total_; }
+  uint64_t min_ns() const { return total_ == 0 ? 0 : min_ns_; }
+  uint64_t max_ns() const { return max_ns_; }
+  double mean_ns() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(sum_ns_) /
+                             static_cast<double>(total_);
+  }
+
+  // Estimated value at percentile p in [0, 100] (nearest-rank, linear
+  // interpolation within the bucket). 0 on an empty histogram.
+  double PercentileNs(double p) const {
+    if (total_ == 0) return 0.0;
+    TOPK_CHECK(p >= 0.0 && p <= 100.0);
+    // Nearest rank in [1, total_].
+    uint64_t rank = static_cast<uint64_t>(
+        p / 100.0 * static_cast<double>(total_) + 0.5);
+    if (rank < 1) rank = 1;
+    if (rank > total_) rank = total_;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      if (counts_[i] == 0) continue;
+      if (seen + counts_[i] < rank) {
+        seen += counts_[i];
+        continue;
+      }
+      // Rank lands in bucket i: interpolate across [lo, hi), clamped to
+      // the exactly tracked extremes.
+      const double lo = i == 0 ? 0.0 : static_cast<double>(uint64_t{1} << (i - 1));
+      const double hi = i == 0 ? 1.0 : lo * 2.0;
+      // rank - seen is in [1, counts_[i]]; the first rank sits on the
+      // bucket's lower edge (the min/max clamp handles sparse buckets).
+      const double frac = static_cast<double>(rank - seen - 1) /
+                          static_cast<double>(counts_[i]);
+      double v = lo + (hi - lo) * frac;
+      if (v < static_cast<double>(min_ns_)) v = static_cast<double>(min_ns_);
+      if (v > static_cast<double>(max_ns_)) v = static_cast<double>(max_ns_);
+      return v;
+    }
+    return static_cast<double>(max_ns_);  // unreachable: total_ > 0
+  }
+
+ private:
+  std::array<uint64_t, kNumBuckets> counts_{};
+  uint64_t total_ = 0;
+  uint64_t sum_ns_ = 0;
+  uint64_t min_ns_ = std::numeric_limits<uint64_t>::max();
+  uint64_t max_ns_ = 0;
+};
+
+}  // namespace topk::serve
+
+#endif  // TOPK_SERVE_HISTOGRAM_H_

@@ -1,0 +1,95 @@
+// The serving layer's observability registry.
+//
+// Workers accumulate thread-local tallies (QueryStats + latency
+// histogram + query counts); after each batch barrier the engine folds
+// them into a Metrics registry under a mutex — the hot path never
+// synchronizes. ToJson() renders one self-describing JSON object whose
+// "stats" keys come straight from QueryStats::ForEachField, so a
+// counter added to QueryStats shows up in the export (and in
+// tools/summarize_bench.py) without touching this file.
+
+#ifndef TOPK_SERVE_METRICS_H_
+#define TOPK_SERVE_METRICS_H_
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "common/stats.h"
+#include "serve/histogram.h"
+
+namespace topk::serve {
+
+// One thread's (or one batch's) worth of accounting; plain data.
+struct MetricsSnapshot {
+  QueryStats stats;
+  LatencyHistogram latency;
+  uint64_t queries = 0;
+  uint64_t batches = 0;
+
+  void Merge(const MetricsSnapshot& o) {
+    stats += o.stats;
+    latency.Merge(o.latency);
+    queries += o.queries;
+    batches += o.batches;
+  }
+};
+
+// Renders a snapshot as one JSON object (no trailing newline), e.g.
+//   {"queries":128,"batches":2,"stats":{"nodes_visited":9000,...},
+//    "latency_ns":{"count":128,"mean":810.5,"min":402,"p50":771.0,
+//                  "p95":1523.1,"p99":1898.0,"max":2210}}
+inline std::string ToJson(const MetricsSnapshot& s) {
+  char buf[160];
+  std::string out;
+  out.reserve(512);
+  std::snprintf(buf, sizeof(buf),
+                "{\"queries\":%" PRIu64 ",\"batches\":%" PRIu64
+                ",\"stats\":{",
+                s.queries, s.batches);
+  out += buf;
+  bool first = true;
+  QueryStats::ForEachField([&](const char* name, auto member) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%" PRIu64,
+                  first ? "" : ",", name, s.stats.*member);
+    out += buf;
+    first = false;
+  });
+  const LatencyHistogram& h = s.latency;
+  std::snprintf(buf, sizeof(buf),
+                "},\"latency_ns\":{\"count\":%" PRIu64
+                ",\"mean\":%.1f,\"min\":%" PRIu64
+                ",\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f,\"max\":%" PRIu64
+                "}}",
+                h.count(), h.mean_ns(), h.min_ns(), h.PercentileNs(50.0),
+                h.PercentileNs(95.0), h.PercentileNs(99.0), h.max_ns());
+  out += buf;
+  return out;
+}
+
+// Shared registry: many engines (or many batches of one engine) may
+// absorb into the same Metrics concurrently.
+class Metrics {
+ public:
+  void Absorb(const MetricsSnapshot& s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    agg_.Merge(s);
+  }
+
+  MetricsSnapshot Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return agg_;
+  }
+
+  std::string ToJson() const { return serve::ToJson(Snapshot()); }
+
+ private:
+  mutable std::mutex mu_;
+  MetricsSnapshot agg_;
+};
+
+}  // namespace topk::serve
+
+#endif  // TOPK_SERVE_METRICS_H_

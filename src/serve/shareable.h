@@ -1,0 +1,65 @@
+// Compile-time gate: which structures may be shared across QueryEngine
+// worker threads?
+//
+// Every static structure in the repo is const-queryable with no hidden
+// mutable state, so concurrent Query calls on one instance are safe —
+// EXCEPT the external-memory structures: even a read-only EM query
+// mutates its BufferPool (LRU list, frames, hit/miss and I/O counters),
+// which is deliberately single-threaded state. Those are rejected here
+// at compile time rather than corrupting I/O accounting at runtime.
+//
+// Detection: the EM substrates carry `static constexpr bool
+// kExternalMemory = true`, and the reductions export their substrate
+// types (`Prioritized`, `MaxSubstrate`, `CounterStructure`), so the
+// check recurses through e.g. CoreSetTopK<Problem, EmRange1dPrioritized>
+// without the reductions knowing anything about external memory.
+
+#ifndef TOPK_SERVE_SHAREABLE_H_
+#define TOPK_SERVE_SHAREABLE_H_
+
+#include <concepts>
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace topk::serve {
+
+template <typename S>
+consteval bool UsesExternalMemory() {
+  if constexpr (requires {
+                  { S::kExternalMemory } -> std::convertible_to<bool>;
+                }) {
+    if (S::kExternalMemory) return true;
+  }
+  if constexpr (requires { typename S::Prioritized; }) {
+    if (UsesExternalMemory<typename S::Prioritized>()) return true;
+  }
+  if constexpr (requires { typename S::MaxSubstrate; }) {
+    if (UsesExternalMemory<typename S::MaxSubstrate>()) return true;
+  }
+  if constexpr (requires { typename S::CounterStructure; }) {
+    if (UsesExternalMemory<typename S::CounterStructure>()) return true;
+  }
+  return false;
+}
+
+// Any top-k structure: const-queryable `Query(q, k, stats)` returning
+// the k heaviest matches.
+template <typename S>
+concept TopKStructure =
+    requires(const S& s, const typename S::Predicate& q, QueryStats* stats) {
+      typename S::Element;
+      { s.size() } -> std::convertible_to<size_t>;
+      { s.Query(q, size_t{1}, stats) } ->
+          std::convertible_to<std::vector<typename S::Element>>;
+    };
+
+// A top-k structure whose const queries are safe to issue from many
+// threads against one shared instance.
+template <typename S>
+concept ShareableTopKStructure = TopKStructure<S> && !UsesExternalMemory<S>();
+
+}  // namespace topk::serve
+
+#endif  // TOPK_SERVE_SHAREABLE_H_

@@ -1,0 +1,99 @@
+// Fixed-size thread pool running "parallel regions".
+//
+// The batched engine needs exactly one primitive: run a job on every
+// worker simultaneously and wait for all of them (the workers then
+// self-schedule requests off a shared atomic cursor, so there is no
+// per-task queue to contend on). Workers are spawned once in the
+// constructor and parked on a condition variable between regions.
+//
+// Single-owner: RunOnAll may not be called concurrently with itself
+// (checked). The job callable must itself be safe to invoke from many
+// threads at once.
+
+#ifndef TOPK_SERVE_THREAD_POOL_H_
+#define TOPK_SERVE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace topk::serve {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) {
+    TOPK_CHECK(num_threads >= 1);
+    threads_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this, i] { WorkerLoop(i); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  // Runs job(worker_index) once on every worker and blocks until every
+  // call has returned.
+  void RunOnAll(const std::function<void(size_t)>& job) {
+    std::unique_lock<std::mutex> lock(mu_);
+    TOPK_CHECK(running_ == 0);  // no concurrent RunOnAll
+    job_ = &job;
+    ++generation_;
+    running_ = threads_.size();
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [this] { return running_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void WorkerLoop(size_t index) {
+    uint64_t seen_generation = 0;
+    for (;;) {
+      const std::function<void(size_t)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [this, seen_generation] {
+          return shutdown_ || generation_ != seen_generation;
+        });
+        if (shutdown_) return;
+        seen_generation = generation_;
+        job = job_;
+      }
+      (*job)(index);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--running_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t)>* job_ = nullptr;  // valid while running
+  uint64_t generation_ = 0;
+  size_t running_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace topk::serve
+
+#endif  // TOPK_SERVE_THREAD_POOL_H_

@@ -21,6 +21,7 @@
 #include "common/stats.h"
 #include "core/binary_search_topk.h"
 #include "core/core_set_topk.h"
+#include "core/counting_topk.h"
 #include "core/problem.h"
 #include "core/sampled_topk.h"
 #include "core/sink.h"
@@ -30,6 +31,7 @@
 #include "interval/interval_tree_stab.h"
 #include "interval/seg_stab.h"
 #include "interval/stab_max.h"
+#include "range1d/count_tree.h"
 #include "range1d/dyn_pst.h"
 #include "range1d/dyn_range_max.h"
 #include "range1d/pst.h"
@@ -189,11 +191,16 @@ class AscendingPri {
 
 static_assert(PrioritizedStructure<AscendingPri, Range1DProblem>);
 
+// Every reduction must stay exact over the hostile emitter: nothing may
+// assume descending (or any) emission order from a prioritized structure.
 TEST(EmissionOrder, ReductionsExactOverAscendingEmitter) {
   Rng rng(5);
   std::vector<Point1D> data = test::RandomPoints1D(8000, &rng);
   CoreSetTopK<Range1DProblem, AscendingPri> thm1(data);
   SampledTopK<Range1DProblem, AscendingPri, RangeMax> thm2(data);
+  BinarySearchTopK<Range1DProblem, AscendingPri> baseline(data);
+  CountingTopK<Range1DProblem, AscendingPri, range1d::CountTree>
+      counting(data);
   for (int trial = 0; trial < 15; ++trial) {
     double lo = rng.NextDouble(), hi = rng.NextDouble();
     if (lo > hi) std::swap(lo, hi);
@@ -201,6 +208,10 @@ TEST(EmissionOrder, ReductionsExactOverAscendingEmitter) {
       auto want = test::BruteTopK<Range1DProblem>(data, {lo, hi}, k);
       ASSERT_EQ(test::IdsOf(thm1.Query({lo, hi}, k)), test::IdsOf(want));
       ASSERT_EQ(test::IdsOf(thm2.Query({lo, hi}, k)), test::IdsOf(want));
+      ASSERT_EQ(test::IdsOf(baseline.Query({lo, hi}, k)),
+                test::IdsOf(want));
+      ASSERT_EQ(test::IdsOf(counting.Query({lo, hi}, k)),
+                test::IdsOf(want));
     }
   }
 }

@@ -91,6 +91,84 @@ TEST(BufferPool, LruEvictionAndDirtyWriteback) {
   EXPECT_EQ(out[0], 42);
 }
 
+// The CLAUDE.md gotcha, locked in: building a fresh page goes through
+// PinFresh and charges NO read (one write at eviction/flush is the whole
+// Aggarwal–Vitter cost of writing a new block); re-opening an evicted
+// page goes through Pin and charges exactly one read. Routing the write
+// path through Pin instead silently doubles its I/O count.
+TEST(BufferPool, PinChargesReadPinFreshDoesNot) {
+  BlockDevice dev(128);
+  const uint64_t p = dev.Allocate();
+  BufferPool pool(&dev, 2);
+
+  pool.PinFresh(p);  // brand-new block: no device read
+  pool.Unpin(p);
+  EXPECT_EQ(dev.counters().reads, 0u);
+  EXPECT_EQ(dev.counters().writes, 0u);  // write deferred to flush
+
+  pool.FlushAll();  // dirty write-back: the one write
+  EXPECT_EQ(dev.counters().reads, 0u);
+  EXPECT_EQ(dev.counters().writes, 1u);
+
+  pool.Pin(p);  // no longer resident: exactly one read
+  pool.Unpin(p);
+  EXPECT_EQ(dev.counters().reads, 1u);
+  EXPECT_EQ(dev.counters().writes, 1u);
+
+  pool.Pin(p);  // resident again: a hit, no I/O
+  pool.Unpin(p);
+  pool.FlushAll();  // clean frame: dropped, no write
+  EXPECT_EQ(dev.counters().reads, 1u);
+  EXPECT_EQ(dev.counters().writes, 1u);
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
+using BufferPoolDeathTest = ::testing::Test;
+
+TEST(BufferPoolDeathTest, UnpinWithoutPinAborts) {
+  BlockDevice dev(128);
+  const uint64_t p = dev.Allocate();
+  BufferPool pool(&dev, 2);
+  EXPECT_DEATH(pool.Unpin(p), "TOPK_CHECK");
+}
+
+TEST(BufferPoolDeathTest, DoubleUnpinAborts) {
+  BlockDevice dev(128);
+  const uint64_t p = dev.Allocate();
+  BufferPool pool(&dev, 2);
+  pool.Pin(p);
+  pool.Unpin(p);
+  EXPECT_DEATH(pool.Unpin(p), "TOPK_CHECK");
+}
+
+TEST(BufferPoolDeathTest, FlushAllWithLivePinAborts) {
+  BlockDevice dev(128);
+  const uint64_t p = dev.Allocate();
+  // Heap-allocate so the death-test child aborts in FlushAll itself,
+  // not in a destructor unwinding the same violated precondition.
+  auto* pool = new BufferPool(&dev, 2);
+  pool->Pin(p);
+  EXPECT_DEATH(pool->FlushAll(), "TOPK_CHECK");
+  pool->Unpin(p);
+  delete pool;
+}
+
+TEST(BufferPoolDeathTest, PinOfUnallocatedPageAborts) {
+  BlockDevice dev(128);
+  BufferPool pool(&dev, 2);
+  EXPECT_DEATH(pool.Pin(99), "TOPK_CHECK");
+  EXPECT_DEATH(pool.PinFresh(99), "TOPK_CHECK");
+}
+
+TEST(BufferPoolDeathTest, PinFreshOfResidentPageAborts) {
+  BlockDevice dev(128);
+  const uint64_t p = dev.Allocate();
+  BufferPool pool(&dev, 2);
+  pool.Pin(p);
+  EXPECT_DEATH(pool.PinFresh(p), "TOPK_CHECK");
+  pool.Unpin(p);
+}
+
 TEST(PagedArray, RoundTripAndScan) {
   BlockDevice dev(512);
   BufferPool pool(&dev, 8);

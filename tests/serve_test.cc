@@ -1,0 +1,303 @@
+// The serving layer: latency histogram quantiles, metrics registry and
+// JSON export, the thread-shareability concept, and the batched query
+// engine — whose results must be exactly the single-threaded,
+// brute-force-validated answers at every thread count.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/binary_search_topk.h"
+#include "core/core_set_topk.h"
+#include "core/counting_topk.h"
+#include "core/sampled_topk.h"
+#include "core/scan_topk.h"
+#include "em/em_range1d.h"
+#include "range1d/count_tree.h"
+#include "range1d/direct_topk.h"
+#include "range1d/pst.h"
+#include "range1d/range_max.h"
+#include "serve/engine.h"
+#include "serve/histogram.h"
+#include "serve/metrics.h"
+#include "serve/shareable.h"
+#include "serve/thread_pool.h"
+#include "test_util.h"
+
+namespace topk {
+namespace {
+
+using range1d::CountTree;
+using range1d::HeapSelectTopK;
+using range1d::Point1D;
+using range1d::PrioritySearchTree;
+using range1d::Range1D;
+using range1d::Range1DProblem;
+using range1d::RangeMax;
+using serve::LatencyHistogram;
+using serve::MetricsSnapshot;
+
+// --- Shareability concept -----------------------------------------------
+
+using Thm1 = CoreSetTopK<Range1DProblem, PrioritySearchTree>;
+using Thm2 = SampledTopK<Range1DProblem, PrioritySearchTree, RangeMax>;
+using Baseline = BinarySearchTopK<Range1DProblem, PrioritySearchTree>;
+using Counting = CountingTopK<Range1DProblem, PrioritySearchTree, CountTree>;
+
+static_assert(serve::ShareableTopKStructure<Thm1>);
+static_assert(serve::ShareableTopKStructure<Thm2>);
+static_assert(serve::ShareableTopKStructure<Baseline>);
+static_assert(serve::ShareableTopKStructure<Counting>);
+static_assert(serve::ShareableTopKStructure<ScanTopK<Range1DProblem>>);
+static_assert(serve::ShareableTopKStructure<HeapSelectTopK>);
+
+// EM substrates mutate their BufferPool on every (even read-only)
+// query; they and every reduction stacked on them must be rejected.
+static_assert(serve::UsesExternalMemory<em::EmBPlusTree>());
+static_assert(serve::UsesExternalMemory<em::EmRange1dPrioritized>());
+static_assert(!serve::ShareableTopKStructure<
+              CoreSetTopK<Range1DProblem, em::EmRange1dPrioritized>>);
+static_assert(
+    !serve::ShareableTopKStructure<SampledTopK<
+        Range1DProblem, em::EmRange1dPrioritized, em::EmBPlusTree>>);
+
+// --- LatencyHistogram ----------------------------------------------------
+
+TEST(LatencyHistogram, EmptyIsAllZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+  EXPECT_EQ(h.PercentileNs(50.0), 0.0);
+}
+
+TEST(LatencyHistogram, ExactStatsAndBucketedQuantiles) {
+  LatencyHistogram h;
+  // 100 values: 1..100.
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min_ns(), 1u);
+  EXPECT_EQ(h.max_ns(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 50.5);
+  // Log-bucketed estimates: within a factor of 2 of the true quantile.
+  EXPECT_GE(h.PercentileNs(50.0), 32.0);
+  EXPECT_LE(h.PercentileNs(50.0), 64.0);
+  EXPECT_GE(h.PercentileNs(99.0), 64.0);
+  EXPECT_LE(h.PercentileNs(99.0), 100.0);  // clamped to the exact max
+  // p0/p100 clamp to the exactly tracked extremes.
+  EXPECT_EQ(h.PercentileNs(0.0), 1.0);
+  EXPECT_EQ(h.PercentileNs(100.0), 100.0);
+}
+
+TEST(LatencyHistogram, QuantilesAreMonotone) {
+  LatencyHistogram h;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) h.Record(rng.Below(1u << 20));
+  double prev = 0.0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0}) {
+    const double v = h.PercentileNs(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    prev = v;
+  }
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+  LatencyHistogram a, b, both;
+  for (uint64_t v : {5u, 80u, 3000u}) {
+    a.Record(v);
+    both.Record(v);
+  }
+  for (uint64_t v : {1u, 1u << 16}) {
+    b.Record(v);
+    both.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.min_ns(), both.min_ns());
+  EXPECT_EQ(a.max_ns(), both.max_ns());
+  EXPECT_DOUBLE_EQ(a.mean_ns(), both.mean_ns());
+  for (double p : {10.0, 50.0, 95.0}) {
+    EXPECT_DOUBLE_EQ(a.PercentileNs(p), both.PercentileNs(p));
+  }
+}
+
+// --- Metrics / JSON export ----------------------------------------------
+
+TEST(Metrics, JsonContainsEveryQueryStatsField) {
+  serve::Metrics metrics;
+  MetricsSnapshot s;
+  s.queries = 3;
+  s.batches = 1;
+  s.stats.nodes_visited = 42;
+  s.latency.Record(1000);
+  metrics.Absorb(s);
+  const std::string json = metrics.ToJson();
+  // The export iterates QueryStats::ForEachField, so a counter added to
+  // QueryStats must show up here with no serve-layer change.
+  QueryStats::ForEachField([&json](const char* name, auto) {
+    EXPECT_NE(json.find(std::string("\"") + name + "\":"),
+              std::string::npos)
+        << "missing stats field in JSON: " << name;
+  });
+  EXPECT_NE(json.find("\"queries\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"nodes_visited\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(Metrics, AbsorbAccumulates) {
+  serve::Metrics metrics;
+  for (int i = 0; i < 3; ++i) {
+    MetricsSnapshot s;
+    s.queries = 10;
+    s.batches = 1;
+    s.stats.full_scans = 2;
+    metrics.Absorb(s);
+  }
+  const MetricsSnapshot total = metrics.Snapshot();
+  EXPECT_EQ(total.queries, 30u);
+  EXPECT_EQ(total.batches, 3u);
+  EXPECT_EQ(total.stats.full_scans, 6u);
+}
+
+// --- ThreadPool ----------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryWorkerEachRegion) {
+  serve::ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<int> hits(4, 0);
+  for (int round = 1; round <= 3; ++round) {
+    pool.RunOnAll([&hits](size_t w) { ++hits[w]; });
+    for (int h : hits) EXPECT_EQ(h, round);
+  }
+}
+
+// --- QueryEngine ----------------------------------------------------------
+
+struct ServeFixture {
+  std::vector<Point1D> data;
+  std::vector<serve::Request<Range1D>> requests;
+
+  explicit ServeFixture(size_t n, size_t num_requests, uint64_t seed) {
+    Rng rng(seed);
+    data = test::RandomPoints1D(n, &rng);
+    requests.reserve(num_requests);
+    for (size_t i = 0; i < num_requests; ++i) {
+      double lo = rng.NextDouble(), hi = rng.NextDouble();
+      if (lo > hi) std::swap(lo, hi);
+      // Mixed k: mostly small, some deep.
+      const size_t k = (i % 7 == 0) ? 200 : 1 + i % 16;
+      requests.push_back({{lo, hi}, k});
+    }
+  }
+};
+
+template <typename S>
+void ExpectBatchExact(const S& structure, const ServeFixture& fx,
+                      size_t num_threads) {
+  serve::Metrics metrics;
+  serve::QueryEngine<S> engine(&structure, {.num_threads = num_threads},
+                               &metrics);
+  auto results = engine.QueryBatch(fx.requests);
+  ASSERT_EQ(results.size(), fx.requests.size());
+  uint64_t returned = 0;
+  for (size_t i = 0; i < fx.requests.size(); ++i) {
+    auto want = test::BruteTopK<Range1DProblem>(
+        fx.data, fx.requests[i].predicate, fx.requests[i].k);
+    ASSERT_EQ(test::IdsOf(results[i]), test::IdsOf(want))
+        << "request " << i << " at " << num_threads << " threads";
+    returned += results[i].size();
+  }
+  const MetricsSnapshot m = metrics.Snapshot();
+  EXPECT_EQ(m.queries, fx.requests.size());
+  EXPECT_EQ(m.batches, 1u);
+  EXPECT_EQ(m.stats.results_returned, returned);
+  EXPECT_EQ(m.latency.count(), fx.requests.size());
+}
+
+TEST(QueryEngine, ExactAtEveryThreadCountOverEveryStructure) {
+  ServeFixture fx(4000, 64, 11);
+  Thm1 thm1(fx.data);
+  Baseline baseline(fx.data);
+  HeapSelectTopK direct(fx.data);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    ExpectBatchExact(thm1, fx, threads);
+    ExpectBatchExact(baseline, fx, threads);
+    ExpectBatchExact(direct, fx, threads);
+  }
+}
+
+TEST(QueryEngine, MultiThreadMatchesSingleThreadExactly) {
+  ServeFixture fx(6000, 128, 12);
+  Thm2 thm2(fx.data);
+  serve::QueryEngine<Thm2> one(&thm2, {.num_threads = 1});
+  serve::QueryEngine<Thm2> four(&thm2, {.num_threads = 4});
+  const auto a = one.QueryBatch(fx.requests);
+  const auto b = four.QueryBatch(fx.requests);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(test::IdsOf(a[i]), test::IdsOf(b[i])) << "request " << i;
+  }
+}
+
+// Deterministic accounting: ScanTopK charges exactly one full scan and
+// n node visits per query, so the merged thread-local tallies must sum
+// to exact totals no matter how requests landed on workers.
+TEST(QueryEngine, ThreadLocalStatsMergeToExactTotals) {
+  ServeFixture fx(500, 48, 13);
+  ScanTopK<Range1DProblem> scan(fx.data);
+  serve::Metrics metrics;
+  serve::QueryEngine<ScanTopK<Range1DProblem>> engine(
+      &scan, {.num_threads = 4}, &metrics);
+  engine.QueryBatch(fx.requests);
+  const MetricsSnapshot m = metrics.Snapshot();
+  EXPECT_EQ(m.stats.full_scans, fx.requests.size());
+  EXPECT_EQ(m.stats.nodes_visited, fx.requests.size() * fx.data.size());
+}
+
+TEST(QueryEngine, EdgeBatches) {
+  ServeFixture fx(300, 4, 14);
+  Thm1 thm1(fx.data);
+  serve::Metrics metrics;
+  serve::QueryEngine<Thm1> engine(&thm1, {.num_threads = 4}, &metrics);
+
+  // Empty batch: no queries, still one batch in the registry.
+  EXPECT_TRUE(engine.QueryBatch({}).empty());
+  EXPECT_EQ(metrics.Snapshot().batches, 1u);
+
+  // Fewer requests than workers, and k = 0 answers.
+  std::vector<serve::Request<Range1D>> tiny = {{{0.0, 1.0}, 5},
+                                               {{0.2, 0.4}, 0}};
+  auto results = engine.QueryBatch(tiny);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(test::IdsOf(results[0]),
+            test::IdsOf(test::BruteTopK<Range1DProblem>(fx.data,
+                                                        {0.0, 1.0}, 5)));
+  EXPECT_TRUE(results[1].empty());
+  EXPECT_EQ(metrics.Snapshot().queries, 2u);
+
+  // Batches accumulate in the shared registry.
+  engine.QueryBatch(fx.requests);
+  EXPECT_EQ(metrics.Snapshot().batches, 3u);
+  EXPECT_EQ(metrics.Snapshot().queries, 2u + fx.requests.size());
+}
+
+// An empty structure served concurrently (degenerate but legal).
+TEST(QueryEngine, EmptyStructure) {
+  ScanTopK<Range1DProblem> empty({});
+  serve::QueryEngine<ScanTopK<Range1DProblem>> engine(
+      &empty, {.num_threads = 2});
+  auto results = engine.QueryBatch({{{0.0, 1.0}, 3}, {{0.5, 0.6}, 1}});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].empty());
+  EXPECT_TRUE(results[1].empty());
+}
+
+}  // namespace
+}  // namespace topk

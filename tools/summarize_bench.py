@@ -6,12 +6,32 @@ Usage: tools/summarize_bench.py [bench_output.txt]
 Extracts, per experiment binary, the google-benchmark rows (name, CPU
 time, counters) or passes through the plain-text tables of the
 measurement binaries (E4/E6/E12/E13/E15/E19/E20), so a fresh run can be
-diffed against the numbers recorded in EXPERIMENTS.md.
+diffed against the numbers recorded in EXPERIMENTS.md. bench_serve's
+(E21) `metrics_json` lines are parsed and re-rendered as compact rows:
+queries served, aggregate QueryStats counters of note, and latency
+percentiles from the serving layer's own histogram export.
 """
 
+import json
 import re
 import signal
 import sys
+
+
+def render_serve_metrics(line: str) -> str:
+    """'metrics_json structure=X threads=N {json}' -> one compact row."""
+    head, _, payload = line.partition("{")
+    m = json.loads("{" + payload)
+    tags = " ".join(tok for tok in head.split() if "=" in tok)
+    lat = m["latency_ns"]
+    stats = m["stats"]
+    interesting = {k: v for k, v in stats.items() if v}
+    return (
+        f"  {tags:<32} queries={m['queries']} "
+        f"p50={lat['p50'] / 1e3:.1f}us p95={lat['p95'] / 1e3:.1f}us "
+        f"p99={lat['p99'] / 1e3:.1f}us "
+        + " ".join(f"{k}={v}" for k, v in sorted(interesting.items()))
+    )
 
 
 def main() -> int:
@@ -30,13 +50,16 @@ def main() -> int:
             passthrough = section in {
                 "bench_space", "bench_lemmas", "bench_em", "bench_rounds",
                 "bench_ablation", "bench_build", "bench_selectivity",
+                "bench_serve",
             }
             print(f"\n## {section}")
             continue
         if section is None:
             continue
         if passthrough:
-            if line.strip():
+            if line.startswith("metrics_json "):
+                print(render_serve_metrics(line))
+            elif line.strip():
                 print(f"  {line}")
             continue
         m = gbench_row.match(line.strip())
