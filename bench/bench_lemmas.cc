@@ -52,7 +52,10 @@ void Lemma1Table() {
       for (int t = 0; t < trials; ++t) {
         std::vector<Point1D> sample = PSample(data, p, &rng);
         const size_t r = Lemma1SampleRank(k, p);
-        if (static_cast<double>(sample.size()) <= 2.0 * k * p) continue;
+        if (static_cast<double>(sample.size()) <=
+            2.0 * static_cast<double>(k) * p) {
+          continue;
+        }
         if (sample.size() < r) continue;
         std::nth_element(sample.begin(), sample.begin() + (r - 1),
                          sample.end(), ByWeightDesc());

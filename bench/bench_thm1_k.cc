@@ -47,7 +47,8 @@ void BM_Thm1CoreSet_K(benchmark::State& state) {
   }
   state.counters["k"] = static_cast<double>(k);
   state.counters["emitted/query"] =
-      static_cast<double>(stats.elements_emitted) / state.iterations();
+      static_cast<double>(stats.elements_emitted) /
+      static_cast<double>(state.iterations());
 }
 
 void BM_Thm1Baseline_K(benchmark::State& state) {
@@ -63,7 +64,8 @@ void BM_Thm1Baseline_K(benchmark::State& state) {
   }
   state.counters["k"] = static_cast<double>(k);
   state.counters["emitted/query"] =
-      static_cast<double>(stats.elements_emitted) / state.iterations();
+      static_cast<double>(stats.elements_emitted) /
+      static_cast<double>(state.iterations());
 }
 
 BENCHMARK(BM_Thm1CoreSet_K)->RangeMultiplier(4)->Range(1, 1 << 14);

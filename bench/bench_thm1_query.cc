@@ -48,7 +48,8 @@ void BM_Thm1CoreSet(benchmark::State& state) {
     benchmark::DoNotOptimize(s.Query(RandomQuery(&rng), kK, &stats));
   }
   state.counters["nodes/query"] =
-      static_cast<double>(stats.nodes_visited) / state.iterations();
+      static_cast<double>(stats.nodes_visited) /
+      static_cast<double>(state.iterations());
   state.counters["fallbacks"] = static_cast<double>(stats.fallbacks);
   state.counters["n"] = static_cast<double>(n);
 }
@@ -65,7 +66,8 @@ void BM_Thm1BinarySearchBaseline(benchmark::State& state) {
     benchmark::DoNotOptimize(s.Query(RandomQuery(&rng), kK, &stats));
   }
   state.counters["nodes/query"] =
-      static_cast<double>(stats.nodes_visited) / state.iterations();
+      static_cast<double>(stats.nodes_visited) /
+      static_cast<double>(state.iterations());
   state.counters["n"] = static_cast<double>(n);
 }
 

@@ -49,7 +49,8 @@ void BM_Thm2_N(benchmark::State& state) {
   }
   state.counters["n"] = static_cast<double>(n);
   state.counters["rounds/query"] =
-      static_cast<double>(stats.rounds) / state.iterations();
+      static_cast<double>(stats.rounds) /
+      static_cast<double>(state.iterations());
 }
 
 void BM_Thm2_K(benchmark::State& state) {
@@ -66,7 +67,8 @@ void BM_Thm2_K(benchmark::State& state) {
   }
   state.counters["k"] = static_cast<double>(k);
   state.counters["rounds/query"] =
-      static_cast<double>(stats.rounds) / state.iterations();
+      static_cast<double>(stats.rounds) /
+      static_cast<double>(state.iterations());
 }
 
 void BM_Thm1_K_Reference(benchmark::State& state) {

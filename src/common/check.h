@@ -3,13 +3,19 @@
 // The library does not use exceptions (structures are total functions of
 // their inputs); violated preconditions are programming errors and abort
 // with a message. TOPK_CHECK is always on; TOPK_DCHECK compiles away in
-// release builds.
+// release builds but still type-checks its condition, so NDEBUG neither
+// hides unused-variable warnings nor lets the expression bit-rot.
+//
+// The comparison forms (TOPK_CHECK_EQ/LE/LT) print both operand values
+// on abort — prefer them over TOPK_CHECK(a == b) anywhere the values
+// help diagnose the failure (sizes, counters, ranks).
 
 #ifndef TOPK_COMMON_CHECK_H_
 #define TOPK_COMMON_CHECK_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
 #define TOPK_CHECK(cond)                                                  \
   do {                                                                    \
@@ -20,9 +26,44 @@
     }                                                                     \
   } while (0)
 
+namespace topk::internal {
+
+// Out-of-line cold path for the comparison macros: stream both operands
+// (anything with operator<<) into the abort message.
+template <typename A, typename B>
+[[noreturn]] inline void CheckOpAbort(const char* expr, const A& a,
+                                      const B& b, const char* file,
+                                      int line) {
+  std::ostringstream values;
+  values << a << " vs " << b;
+  std::fprintf(stderr, "TOPK_CHECK failed: %s (%s) at %s:%d\n", expr,
+               values.str().c_str(), file, line);
+  std::abort();
+}
+
+}  // namespace topk::internal
+
+// Operands are evaluated exactly once.
+#define TOPK_CHECK_OP_(a, op, b)                                          \
+  do {                                                                    \
+    auto&& topk_check_a_ = (a);                                           \
+    auto&& topk_check_b_ = (b);                                           \
+    if (!(topk_check_a_ op topk_check_b_)) {                              \
+      ::topk::internal::CheckOpAbort(#a " " #op " " #b, topk_check_a_,    \
+                                     topk_check_b_, __FILE__, __LINE__);  \
+    }                                                                     \
+  } while (0)
+
+#define TOPK_CHECK_EQ(a, b) TOPK_CHECK_OP_(a, ==, b)
+#define TOPK_CHECK_LE(a, b) TOPK_CHECK_OP_(a, <=, b)
+#define TOPK_CHECK_LT(a, b) TOPK_CHECK_OP_(a, <, b)
+
 #ifdef NDEBUG
-#define TOPK_DCHECK(cond) \
-  do {                    \
+// The condition stays inside an unevaluated operand: never executed, but
+// still parsed and type-checked, so symbols it names must keep existing.
+#define TOPK_DCHECK(cond)        \
+  do {                           \
+    (void)sizeof(!(cond));       \
   } while (0)
 #else
 #define TOPK_DCHECK(cond) TOPK_CHECK(cond)

@@ -44,8 +44,10 @@ class Rng {
         (static_cast<unsigned __int128>(Next()) * bound) >> 64);
   }
 
-  // Uniform double in [0, 1).
-  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+  // Uniform double in [0, 1). The top 53 bits fit a double exactly.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
 
   // Bernoulli trial with success probability p (clamped to [0, 1]).
   bool Bernoulli(double p) { return NextDouble() < p; }

@@ -72,6 +72,7 @@ std::vector<Element> BinarySearchTopKQuery(
 // Self-contained baseline structure: owns the prioritized structure and
 // the sorted weight list.
 template <typename Problem, typename Pri>
+  requires PrioritizedStructure<Pri, Problem>
 class BinarySearchTopK {
  public:
   using Element = typename Problem::Element;

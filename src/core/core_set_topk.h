@@ -49,6 +49,7 @@
 namespace topk {
 
 template <typename Problem, typename Pri>
+  requires PrioritizedStructure<Pri, Problem>
 class CoreSetTopK {
  public:
   using Element = typename Problem::Element;
@@ -58,6 +59,7 @@ class CoreSetTopK {
   using Prioritized = Pri;
 
   template <typename Factory = DirectFactory<Pri>>
+    requires StructureFactory<Factory, Pri, typename Problem::Element>
   explicit CoreSetTopK(std::vector<Element> data,
                        const ReductionOptions& options = {},
                        const Factory& factory = {})
@@ -94,6 +96,33 @@ class CoreSetTopK {
   size_t f() const { return f_; }
   size_t num_chain_levels() const { return chain_->num_levels(); }
   size_t num_large_k_core_sets() const { return large_k_chains_.size(); }
+
+  // Audit hook (src/audit/, -DTOPK_AUDIT=ON test sweeps): Theorem 1
+  // composition invariants — the f clamp of inequality (11), the sorted
+  // global weight list, the Lemma 2 nesting of every chain, and a
+  // large-k ladder exactly matching the K = 2^{i-1} f, K <= n schedule.
+  // Aborts via TOPK_CHECK on violation.
+  void AuditInvariants() const {
+    if (n_ == 0) return;
+    TOPK_CHECK(f_ >= CoreSetRank(n_, Problem::kLambda,
+                                 options_.constant_scale));
+    TOPK_CHECK_EQ(weights_desc_.size(), n_);
+    TOPK_CHECK(std::is_sorted(weights_desc_.begin(), weights_desc_.end(),
+                              std::greater<double>()));
+    TOPK_CHECK(chain_.has_value());
+    TOPK_CHECK_EQ(chain_->level0().size(), n_);
+    chain_->AuditInvariants();
+    size_t expected_ladder = 0;
+    for (double K = static_cast<double>(f_) * 2.0;
+         K <= static_cast<double>(n_); K *= 2.0) {
+      ++expected_ladder;
+    }
+    TOPK_CHECK_EQ(large_k_chains_.size(), expected_ladder);
+    for (const TopFChain<Problem, Pri>& chain : large_k_chains_) {
+      TOPK_CHECK_EQ(chain.f(), f_);
+      chain.AuditInvariants();
+    }
+  }
 
   // The k heaviest elements of q(D), heaviest first (all of q(D) when
   // |q(D)| < k). Exact for every input and every random draw.

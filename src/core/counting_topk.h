@@ -36,6 +36,8 @@
 namespace topk {
 
 template <typename Problem, typename Pri, typename Counter>
+  requires PrioritizedStructure<Pri, Problem> &&
+           CounterStructure<Counter, Problem>
 class CountingTopK {
  public:
   using Element = typename Problem::Element;

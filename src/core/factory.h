@@ -6,6 +6,9 @@
 // structure's vector constructor; environments whose structures need
 // extra context — e.g. the EM structures, which allocate pages through
 // a BufferPool — pass a capturing callable instead.
+//
+// The contract a factory must satisfy is the StructureFactory concept in
+// core/problem.h; every reduction constructor is constrained on it.
 
 #ifndef TOPK_CORE_FACTORY_H_
 #define TOPK_CORE_FACTORY_H_

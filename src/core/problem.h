@@ -1,5 +1,6 @@
-// The Problem trait: what a reporting problem must provide to plug into
-// the general reductions.
+// The Problem trait and the structure-contract concept suite: what a
+// reporting problem and its structures must provide to plug into the
+// general reductions.
 //
 // A Problem is a struct with:
 //
@@ -14,36 +15,13 @@
 // any n-element input D. (E.g. 1D range reporting: every outcome is an
 // index interval of the sorted order => at most n^2 outcomes, kLambda = 2.)
 //
-// A PRIORITIZED structure over a Problem must provide:
-//
-//   explicit Structure(std::vector<Element> data);
-//   size_t size() const;
-//   template <typename Emit>   // Emit: bool(const Element&); false = stop
-//   void QueryPrioritized(const Predicate& q, double tau, Emit&& emit,
-//                         QueryStats* stats) const;
-//   static double QueryCostBound(size_t n, size_t block_size);  // Q_pri(n)
-//
-// QueryPrioritized must report every element e with Matches(q, e) and
-// w(e) >= tau, each exactly once, in any order, stopping as soon as emit
-// returns false (the paper's "cost monitoring" device). Its cost must be
-// output-sensitive: Q_pri(n) + O(t) work for t reported elements.
-//
-// A MAX structure over a Problem must provide:
-//
-//   explicit Structure(std::vector<Element> data);
-//   size_t size() const;
-//   std::optional<Element> QueryMax(const Predicate& q,
-//                                   QueryStats* stats) const;
-//   static double QueryCostBound(size_t n, size_t block_size);  // Q_max(n)
-//
-// DYNAMIC structures (needed only by SampledTopK updates) additionally
-// provide:
-//
-//   void Insert(const Element& e);
-//   void Erase(const Element& e);   // e must be present
-//
-// The requirements are duck-typed (plain templates); the light concepts
-// below catch the most common signature mistakes at instantiation time.
+// The concepts below are the machine-checked half of each contract: they
+// pin the *signatures* at every reduction entry point, so substrate drift
+// fails at instantiation with the concept's name in the error. The
+// *semantics* half of each contract (the "must" comments next to each
+// concept) cannot be expressed in the type system; it is verified at
+// query time by the audit wrappers in src/audit/ (enable with
+// -DTOPK_AUDIT=ON) and by the brute-force test sweeps.
 
 #ifndef TOPK_CORE_PROBLEM_H_
 #define TOPK_CORE_PROBLEM_H_
@@ -52,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
@@ -73,6 +52,22 @@ struct AnySink {
   bool operator()(const E&) const { return true; }
 };
 
+// PRIORITIZED structure contract (Section 2 of the paper).
+//
+// Signature (checked here):
+//   size_t size() const;
+//   template <typename Emit>   // Emit: bool(const Element&); false = stop
+//   void QueryPrioritized(const Predicate& q, double tau, Emit&& emit,
+//                         QueryStats* stats) const;
+//   static double QueryCostBound(size_t n, size_t block_size);  // Q_pri(n)
+//
+// Semantics (audit::CheckedPrioritized verifies at query time):
+//   * every element e with Matches(q, e) and w(e) >= tau is emitted,
+//     each EXACTLY once, in ANY order (reductions must not assume one);
+//   * emission STOPS as soon as emit returns false (the paper's cost
+//     monitoring device) — no further emit calls are allowed;
+//   * cost is output-sensitive: Q_pri(n) + O(t) work for t emitted
+//     elements, charged to *stats monotonically (counters only grow).
 template <typename S, typename P>
 concept PrioritizedStructure =
     ProblemDef<P> &&
@@ -84,6 +79,19 @@ concept PrioritizedStructure =
           std::convertible_to<double>;
     };
 
+// MAX structure contract (the Theorem 2 substrate).
+//
+// Signature (checked here):
+//   size_t size() const;
+//   std::optional<Element> QueryMax(const Predicate& q,
+//                                   QueryStats* stats) const;
+//   static double QueryCostBound(size_t n, size_t block_size);  // Q_max(n)
+//
+// Semantics (audit::CheckedMax verifies at query time):
+//   * returns THE heaviest element of q(D) under the (weight, id) total
+//     order, or nullopt iff q(D) is empty — never an arbitrary matching
+//     element;
+//   * cost Q_max(n), charged to *stats monotonically.
 template <typename S, typename P>
 concept MaxStructure =
     ProblemDef<P> &&
@@ -93,6 +101,71 @@ concept MaxStructure =
           std::convertible_to<std::optional<typename P::Element>>;
       { S::QueryCostBound(size_t{1}, size_t{64}) } ->
           std::convertible_to<double>;
+    };
+
+// DYNAMIC structure contract (needed by SampledTopK updates and the
+// logarithmic method).
+//
+// Semantics: Insert makes e visible to every subsequent query; Erase
+// requires e to be present (by id) and removes exactly it. Ids are the
+// identity — weights of distinct elements may collide.
+template <typename S, typename P>
+concept DynamicStructure =
+    requires(S& s, const typename P::Element& e) {
+      s.Insert(e);
+      s.Erase(e);
+    };
+
+// COUNTER structure contract (the Section 2 counting reduction).
+//
+// Semantics: Count(q, tau, stats) returns a value in
+// [|exact|, c * |exact|] for a fixed approximation factor c >= 1, where
+// exact = {e in q(D) : w(e) >= tau}; an exact counter has c = 1. Counts
+// must be monotone in tau (lower tau never shrinks the count).
+template <typename C, typename P>
+concept CounterStructure =
+    ProblemDef<P> &&
+    requires(const C& c, const typename P::Predicate& q, double tau,
+             QueryStats* stats) {
+      { c.size() } -> std::convertible_to<size_t>;
+      { c.Count(q, tau, stats) } -> std::convertible_to<size_t>;
+    };
+
+// TOP-K structure contract (what the reductions produce and the serving
+// layer consumes; see serve/shareable.h for the thread-shareable
+// refinement).
+//
+// Semantics: Query(q, k, stats) returns the min(k, |q(D)|) heaviest
+// elements of q(D) sorted heaviest-first under (weight, id) — callers
+// (tests, the serving layer, TopKToPrioritized) rely on exact,
+// descending results.
+template <typename S>
+concept TopKStructure =
+    requires(const S& s, const typename S::Predicate& q, QueryStats* stats) {
+      typename S::Element;
+      { s.size() } -> std::convertible_to<size_t>;
+      { s.Query(q, size_t{1}, stats) } ->
+          std::convertible_to<std::vector<typename S::Element>>;
+    };
+
+// As TopKStructure, additionally pinning the structure to a problem's
+// element/predicate types (used where a reduction hands a top-k
+// structure to problem-typed code).
+template <typename S, typename P>
+concept TopKStructureFor =
+    ProblemDef<P> && TopKStructure<S> &&
+    std::same_as<typename S::Element, typename P::Element> &&
+    std::same_as<typename S::Predicate, typename P::Predicate>;
+
+// FACTORY contract (core/factory.h): builds a structure of type S from a
+// vector of elements. The reductions sample sets themselves (core-set
+// levels, Theorem 2's R_i) and construct inner structures through one of
+// these; environments needing extra context (EM structures allocating
+// through a BufferPool) pass a capturing callable.
+template <typename F, typename S, typename E>
+concept StructureFactory =
+    requires(const F& f, std::vector<E> data) {
+      { f(std::move(data)) } -> std::same_as<S>;
     };
 
 }  // namespace topk

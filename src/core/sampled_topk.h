@@ -51,6 +51,10 @@ namespace topk {
 template <typename Problem, typename Pri, typename Max,
           typename PriFactory = DirectFactory<Pri>,
           typename MaxFactory = DirectFactory<Max>>
+  requires PrioritizedStructure<Pri, Problem> &&
+           MaxStructure<Max, Problem> &&
+           StructureFactory<PriFactory, Pri, typename Problem::Element> &&
+           StructureFactory<MaxFactory, Max, typename Problem::Element>
 class SampledTopK {
  public:
   using Element = typename Problem::Element;
@@ -85,6 +89,31 @@ class SampledTopK {
   size_t num_sample_levels() const { return levels_.size(); }
   size_t sample_level_size(size_t i) const { return levels_[i].max.size(); }
   double base_k() const { return base_k_; }
+
+  // Audit hook (src/audit/, -DTOPK_AUDIT=ON test sweeps): Theorem 2
+  // composition invariants — the K_i ladder exactly matches the
+  // K_i = B * Q_max * (1+sigma)^{i-1}, K_i <= n/4 schedule frozen at the
+  // last (re)build, sample sets are genuine subsets, and the membership
+  // index (dynamic instantiations) points at real levels. Aborts via
+  // TOPK_CHECK on violation.
+  void AuditInvariants() const {
+    TOPK_CHECK(pri_.has_value());
+    size_t expected_levels = 0;
+    double K = base_k_;
+    for (; K <= static_cast<double>(built_n_) / 4.0;
+         K *= (1.0 + options_.sigma)) {
+      TOPK_CHECK(expected_levels < levels_.size());
+      TOPK_CHECK_EQ(levels_[expected_levels].K, K);
+      // E|R_i| = n/K_i; a sample can never exceed its source set.
+      TOPK_CHECK_LE(levels_[expected_levels].max.size(), n_);
+      ++expected_levels;
+    }
+    TOPK_CHECK_EQ(levels_.size(), expected_levels);
+    for (const auto& [id, where] : membership_) {
+      TOPK_CHECK(!where.empty());
+      for (uint32_t j : where) TOPK_CHECK_LT(j, levels_.size());
+    }
+  }
 
   // The k heaviest elements of q(D), heaviest first. Exact always;
   // expected cost O(Q_pri + Q_max + k/B).

@@ -83,6 +83,25 @@ class TopFChain {
   // with the enclosing CoreSetTopK so the input is indexed once.
   const Pri& level0() const { return levels_.front().pri; }
 
+  // Audit hook (src/audit/, -DTOPK_AUDIT=ON test sweeps): Lemma 2
+  // nesting — every core-set level is a strictly smaller subset of its
+  // parent, each level's structure indexes exactly the recorded count,
+  // and the chain bottoms out at <= 4f elements unless the non-shrinking
+  // guard truncated it (then the last level is the one that refused to
+  // shrink). Aborts via TOPK_CHECK on violation.
+  void AuditInvariants() const {
+    TOPK_CHECK(f_ >= 1);
+    TOPK_CHECK(!levels_.empty());
+    for (size_t j = 0; j < levels_.size(); ++j) {
+      TOPK_CHECK_EQ(levels_[j].pri.size(), levels_[j].n);
+      if (j > 0) TOPK_CHECK_LT(levels_[j].n, levels_[j - 1].n);
+    }
+    // Every level above the bottom must have been worth splitting.
+    for (size_t j = 0; j + 1 < levels_.size(); ++j) {
+      TOPK_CHECK_LT(4 * f_, levels_[j].n);
+    }
+  }
+
   // Top-min(f, |q(S)|) elements of q(S), heaviest first; nullopt when an
   // unlucky core-set defeated the algorithm (caller must fall back).
   std::optional<std::vector<Element>> QueryTopF(const Predicate& q,

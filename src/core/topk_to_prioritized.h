@@ -18,13 +18,14 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "core/problem.h"
 #include "core/weighted.h"
 
 namespace topk {
 
 // Wraps any top-k structure (anything with Query(q, k, stats) returning
 // descending-weight vectors) as a prioritized structure.
-template <typename TopK>
+template <TopKStructure TopK>
 class TopKToPrioritized {
  public:
   using Element = typename TopK::Element;

@@ -76,6 +76,25 @@ void BufferPool::Evict() {
   frames_.erase(it);
 }
 
+void BufferPool::AuditInvariants() const {
+  TOPK_CHECK_LE(frames_.size(), capacity_);
+  size_t unpinned = 0;
+  for (const auto& [page_id, frame] : frames_) {
+    TOPK_CHECK_EQ(frame.page_id, page_id);
+    TOPK_CHECK(frame.pin_count >= 0);
+    TOPK_CHECK_EQ(frame.in_lru, frame.pin_count == 0);
+    TOPK_CHECK_EQ(frame.data.size(), device_->page_size());
+    if (frame.in_lru) {
+      ++unpinned;
+      TOPK_CHECK_EQ(*frame.lru_it, page_id);  // iterator points home
+    }
+  }
+  TOPK_CHECK_EQ(lru_.size(), unpinned);
+  for (uint64_t page_id : lru_) {
+    TOPK_CHECK(frames_.find(page_id) != frames_.end());
+  }
+}
+
 void BufferPool::FlushAll() {
   // Enforce the whole-pool precondition before any write-back so a
   // violation aborts with the pool (and the device's counters) intact.

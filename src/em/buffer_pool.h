@@ -62,6 +62,12 @@ class BufferPool {
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
 
+  // Audit hook (src/audit/, -DTOPK_AUDIT=ON test sweeps): pin-ledger
+  // consistency — frame count within capacity, pins non-negative, and
+  // the LRU list holding exactly the unpinned frames with back-pointing
+  // iterators. Aborts via TOPK_CHECK on violation.
+  void AuditInvariants() const;
+
  private:
   struct Frame {
     std::vector<uint8_t> data;

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/stats.h"
 #include "core/weighted.h"
 #include "range1d/point1d.h"
@@ -64,6 +65,17 @@ class PrioritySearchTree {
   template <typename F>
   void ForEach(F&& f) const {
     for (const Node& node : nodes_) f(node.point);
+  }
+
+  // Audit hook (src/audit/, -DTOPK_AUDIT=ON test sweeps): structural
+  // invariants — max-heap order on (weight, id), x-split discipline on
+  // both subtrees, and every point stored exactly once. Aborts via
+  // TOPK_CHECK on violation.
+  void AuditInvariants() const {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    size_t visited = 0;
+    AuditNode(root_, nullptr, -kInf, kInf, &visited);
+    TOPK_CHECK_EQ(visited, nodes_.size());
   }
 
   // --- Low-level traversal (for heap-selection algorithms) -------------
@@ -113,6 +125,23 @@ class PrioritySearchTree {
     nodes_[index].left = l;
     nodes_[index].right = r;
     return index;
+  }
+
+  // `parent` is null at the root; [min_x, max_x] bounds the subtree's
+  // allowed x-range (split discipline: left subtree x <= x_split, right
+  // subtree x >= x_split — ">=", matching Visit's duplicate-x handling).
+  void AuditNode(int32_t idx, const Point1D* parent, double min_x,
+                 double max_x, size_t* visited) const {
+    if (idx == kNil) return;
+    const Node& node = nodes_[idx];
+    ++*visited;
+    TOPK_CHECK(*visited <= nodes_.size());  // cycle guard
+    if (parent != nullptr) TOPK_CHECK(!HeavierThan(node.point, *parent));
+    TOPK_CHECK(node.point.x >= min_x && node.point.x <= max_x);
+    AuditNode(node.left, &node.point, min_x,
+              std::min(max_x, node.x_split), visited);
+    AuditNode(node.right, &node.point, std::max(min_x, node.x_split),
+              max_x, visited);
   }
 
   template <typename Emit>

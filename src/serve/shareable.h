@@ -13,6 +13,18 @@
 // types (`Prioritized`, `MaxSubstrate`, `CounterStructure`), so the
 // check recurses through e.g. CoreSetTopK<Problem, EmRange1dPrioritized>
 // without the reductions knowing anything about external memory.
+//
+// Contract for NEW structures (enforced by tools/lint.py's
+// mutable-member check and the negative tests in
+// tests/core_properties_test.cc):
+//   * a structure whose const query path touches mutable state must
+//     either declare `static constexpr bool kExternalMemory = true`
+//     (single-threaded EM state) or `static constexpr bool
+//     kThreadSafeQuery = false` (any other hidden mutability, e.g. a
+//     memoization cache) — both are rejected here;
+//   * a reduction/wrapper template must export its substrate type
+//     aliases so this check can recurse; hiding a substrate hides its
+//     markers.
 
 #ifndef TOPK_SERVE_SHAREABLE_H_
 #define TOPK_SERVE_SHAREABLE_H_
@@ -22,6 +34,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "core/problem.h"
 
 namespace topk::serve {
 
@@ -44,21 +57,39 @@ consteval bool UsesExternalMemory() {
   return false;
 }
 
-// Any top-k structure: const-queryable `Query(q, k, stats)` returning
-// the k heaviest matches.
+// True when S (or any exported substrate) declares its const query path
+// thread-unsafe via `static constexpr bool kThreadSafeQuery = false`.
 template <typename S>
-concept TopKStructure =
-    requires(const S& s, const typename S::Predicate& q, QueryStats* stats) {
-      typename S::Element;
-      { s.size() } -> std::convertible_to<size_t>;
-      { s.Query(q, size_t{1}, stats) } ->
-          std::convertible_to<std::vector<typename S::Element>>;
-    };
+consteval bool DeclaresUnshareableQuery() {
+  if constexpr (requires {
+                  { S::kThreadSafeQuery } -> std::convertible_to<bool>;
+                }) {
+    if (!S::kThreadSafeQuery) return true;
+  }
+  if constexpr (requires { typename S::Prioritized; }) {
+    if (DeclaresUnshareableQuery<typename S::Prioritized>()) return true;
+  }
+  if constexpr (requires { typename S::MaxSubstrate; }) {
+    if (DeclaresUnshareableQuery<typename S::MaxSubstrate>()) return true;
+  }
+  if constexpr (requires { typename S::CounterStructure; }) {
+    if (DeclaresUnshareableQuery<typename S::CounterStructure>()) return true;
+  }
+  return false;
+}
+
+// Any top-k structure: const-queryable `Query(q, k, stats)` returning
+// the k heaviest matches. The canonical contract lives in
+// core/problem.h; this re-export keeps the serve:: spelling stable.
+template <typename S>
+concept TopKStructure = ::topk::TopKStructure<S>;
 
 // A top-k structure whose const queries are safe to issue from many
 // threads against one shared instance.
 template <typename S>
-concept ShareableTopKStructure = TopKStructure<S> && !UsesExternalMemory<S>();
+concept ShareableTopKStructure =
+    TopKStructure<S> && !UsesExternalMemory<S>() &&
+    !DeclaresUnshareableQuery<S>();
 
 }  // namespace topk::serve
 

@@ -94,7 +94,9 @@ TEST_P(CircularSweep, PrioritizedAndMaxMatchBrute) {
     auto gmax = t.QueryMax(q);
     auto wmax = test::BruteMax<CircularProblem>(data, q);
     ASSERT_EQ(gmax.has_value(), wmax.has_value());
-    if (gmax.has_value()) ASSERT_EQ(gmax->id, wmax->id);
+    if (gmax.has_value()) {
+      ASSERT_EQ(gmax->id, wmax->id);
+    }
   }
 }
 

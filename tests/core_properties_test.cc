@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include "audit/checked_prioritized.h"
 #include "circle/circular.h"
 #include "common/random.h"
 #include "common/stats.h"
@@ -36,6 +37,7 @@
 #include "range1d/dyn_range_max.h"
 #include "range1d/pst.h"
 #include "range1d/range_max.h"
+#include "serve/shareable.h"
 #include "test_util.h"
 
 namespace topk {
@@ -82,6 +84,184 @@ static_assert(
     MaxStructure<halfspace::HalfspaceMax, halfspace::HalfplaneProblem>);
 static_assert(
     MaxStructure<dominance::DominanceKdTree, dominance::DominanceProblem>);
+
+// --- Negative concept tests ---------------------------------------------
+// Each Broken* structure mangles exactly one signature requirement and
+// must fail its concept. If one of these static_asserts ever fails, the
+// concept stopped checking that requirement — the contract gate has a
+// hole, not the structure.
+
+// Missing QueryCostBound: the reductions size f and the K_i ladder from
+// it, so a prioritized structure without it is unusable.
+struct BrokenNoCostBound {
+  using Element = Point1D;
+  size_t size() const { return 0; }
+  template <typename Emit>
+  void QueryPrioritized(const Range1D&, double, Emit&&,
+                        QueryStats*) const {}
+};
+static_assert(!PrioritizedStructure<BrokenNoCostBound, Range1DProblem>);
+
+// Non-const query path: the concepts require querying through a const
+// reference, so hidden mutation fails here, not at engine build time.
+struct BrokenNonConstQuery {
+  using Element = Point1D;
+  size_t size() const { return 0; }
+  static double QueryCostBound(size_t, size_t) { return 1.0; }
+  template <typename Emit>
+  void QueryPrioritized(const Range1D&, double, Emit&&, QueryStats*) {}
+};
+static_assert(!PrioritizedStructure<BrokenNonConstQuery, Range1DProblem>);
+
+// Missing size(): cost monitoring computes budgets from it.
+struct BrokenNoSize {
+  using Element = Point1D;
+  static double QueryCostBound(size_t, size_t) { return 1.0; }
+  template <typename Emit>
+  void QueryPrioritized(const Range1D&, double, Emit&&,
+                        QueryStats*) const {}
+};
+static_assert(!PrioritizedStructure<BrokenNoSize, Range1DProblem>);
+
+// Max structure that dropped the stats out-param.
+struct BrokenMaxNoStats {
+  using Element = Point1D;
+  size_t size() const { return 0; }
+  static double QueryCostBound(size_t, size_t) { return 1.0; }
+  std::optional<Point1D> QueryMax(const Range1D&) const { return {}; }
+};
+static_assert(!MaxStructure<BrokenMaxNoStats, Range1DProblem>);
+
+// Counter whose Count does not return a count.
+struct BrokenCounterVoidCount {
+  using Element = Point1D;
+  size_t size() const { return 0; }
+  void Count(const Range1D&, double, QueryStats*) const {}
+};
+static_assert(!CounterStructure<BrokenCounterVoidCount, Range1DProblem>);
+static_assert(CounterStructure<range1d::CountTree, Range1DProblem>);
+
+// Insert without Erase is not a dynamic structure.
+struct BrokenInsertOnly {
+  void Insert(const Point1D&) {}
+};
+static_assert(!DynamicStructure<BrokenInsertOnly, Range1DProblem>);
+static_assert(DynamicStructure<range1d::DynamicPst, Range1DProblem>);
+static_assert(!DynamicStructure<PrioritySearchTree, Range1DProblem>);
+
+// A problem without the polynomial-boundedness exponent.
+struct BrokenProblemNoLambda {
+  using Element = Point1D;
+  using Predicate = Range1D;
+  static bool Matches(const Range1D&, const Point1D&) { return true; }
+};
+static_assert(!ProblemDef<BrokenProblemNoLambda>);
+
+// A factory must produce exactly the substrate type.
+struct WrongTypeFactory {
+  std::vector<Point1D> operator()(std::vector<Point1D> data) const {
+    return data;
+  }
+};
+static_assert(
+    StructureFactory<DirectFactory<PrioritySearchTree>,
+                     PrioritySearchTree, Point1D>);
+static_assert(
+    !StructureFactory<WrongTypeFactory, PrioritySearchTree, Point1D>);
+
+// Every reduction must export its substrate aliases — they are what
+// lets serve/shareable.h's thread-sharing gate recurse into substrate
+// markers; deleting one silently blinds the gate, so pin them here.
+static_assert(requires {
+  typename CoreSetTopK<Range1DProblem, PrioritySearchTree>::Prioritized;
+  typename BinarySearchTopK<Range1DProblem,
+                            PrioritySearchTree>::Prioritized;
+  typename SampledTopK<Range1DProblem, PrioritySearchTree,
+                       RangeMax>::Prioritized;
+  typename SampledTopK<Range1DProblem, PrioritySearchTree,
+                       RangeMax>::MaxSubstrate;
+  typename CountingTopK<Range1DProblem, PrioritySearchTree,
+                        range1d::CountTree>::Prioritized;
+  typename CountingTopK<Range1DProblem, PrioritySearchTree,
+                        range1d::CountTree>::CounterStructure;
+});
+
+// --- Thread-shareability gate (serve/shareable.h) ------------------------
+
+// A memoizing top-k structure: Query is const but caches the last answer
+// in a mutable member — correct single-threaded, a data race under the
+// engine. Its mutable query state is declared via the kThreadSafeQuery
+// marker and the gate rejects it. (The *undeclared* variant — a mutable
+// member with no marker — is exactly what tools/lint.py's mutable-member
+// check flags in src/; the type system cannot see it.)
+class MemoizedTopK {
+ public:
+  using Element = Point1D;
+  using Predicate = Range1D;
+  static constexpr bool kThreadSafeQuery = false;
+
+  explicit MemoizedTopK(std::vector<Point1D> data)
+      : data_(std::move(data)) {}
+  size_t size() const { return data_.size(); }
+  std::vector<Point1D> Query(const Range1D& q, size_t k,
+                             QueryStats* stats = nullptr) const {
+    (void)stats;
+    cache_ = test::BruteTopK<Range1DProblem>(data_, q, k);
+    return cache_;
+  }
+
+ private:
+  std::vector<Point1D> data_;
+  mutable std::vector<Point1D> cache_;  // lint: mutable-ok (marker above)
+};
+static_assert(serve::TopKStructure<MemoizedTopK>);
+static_assert(!serve::ShareableTopKStructure<MemoizedTopK>);
+
+// A leaf with the EM marker is rejected outright...
+struct FakeEmTopK {
+  using Element = Point1D;
+  using Predicate = Range1D;
+  static constexpr bool kExternalMemory = true;
+  size_t size() const { return 0; }
+  std::vector<Point1D> Query(const Range1D&, size_t, QueryStats*) const {
+    return {};
+  }
+};
+static_assert(!serve::ShareableTopKStructure<FakeEmTopK>);
+
+// ...and the gate recurses through an exported substrate alias.
+struct WrapsFakeEm {
+  using Element = Point1D;
+  using Predicate = Range1D;
+  using Prioritized = FakeEmTopK;
+  size_t size() const { return 0; }
+  std::vector<Point1D> Query(const Range1D&, size_t, QueryStats*) const {
+    return {};
+  }
+};
+static_assert(!serve::ShareableTopKStructure<WrapsFakeEm>);
+
+// The same wrapper WITHOUT the alias would sail through — the gate
+// cannot see what a type hides. That is why the substrate-alias exports
+// are pinned by the requires static_assert above and why new reductions
+// must export theirs.
+struct HidesFakeEm {
+  using Element = Point1D;
+  using Predicate = Range1D;
+  size_t size() const { return 0; }
+  std::vector<Point1D> Query(const Range1D&, size_t, QueryStats*) const {
+    return {};
+  }
+ private:
+  [[maybe_unused]] FakeEmTopK hidden_;
+};
+static_assert(serve::ShareableTopKStructure<HidesFakeEm>);
+
+// The audit wrappers forward shareability through their substrate alias:
+// auditing a RAM-backed reduction keeps it engine-shareable.
+static_assert(serve::ShareableTopKStructure<CoreSetTopK<
+    Range1DProblem,
+    audit::CheckedPrioritized<PrioritySearchTree, Range1DProblem>>>);
 
 // --- MonitoredQuery boundary semantics ----------------------------------
 

@@ -23,7 +23,11 @@ using range1d::PrioritySearchTree;
 using range1d::Range1D;
 using range1d::Range1DProblem;
 
-using TopK = CoreSetTopK<Range1DProblem, PrioritySearchTree>;
+// Under -DTOPK_AUDIT=ON the substrate is audit::CheckedPrioritized
+// (contract verification on every prioritized query in the sweep).
+using TopK = CoreSetTopK<Range1DProblem,
+                         test::MaybeAudited<PrioritySearchTree,
+                                            Range1DProblem>>;
 
 TEST(CoreSetTopK, EmptyInput) {
   TopK topk({});
@@ -87,6 +91,7 @@ TEST_P(CoreSetSweep, MatchesBruteForceAcrossKRegimes) {
   opts.constant_scale = p.scale;
   opts.seed = p.seed * 977;
   TopK topk(data, opts);
+  topk.AuditInvariants();
 
   std::vector<size_t> ks = {1, 2, 3, 10, 50};
   ks.push_back(topk.f());          // boundary k = f

@@ -117,7 +117,9 @@ TEST_P(StabSeedSweep, KdAndSegTreeSubstratesAgree) {
     auto kd_max = kd.QueryMax(q);
     auto want_max = test::BruteMax<interval::StabProblem>(data, q);
     ASSERT_EQ(kd_max.has_value(), want_max.has_value());
-    if (kd_max.has_value()) ASSERT_EQ(kd_max->id, want_max->id);
+    if (kd_max.has_value()) {
+      ASSERT_EQ(kd_max->id, want_max->id);
+    }
     // Prioritized agreement.
     std::vector<interval::Interval> got;
     kd.QueryPrioritized(q, 500.0, [&got](const interval::Interval& e) {

@@ -130,7 +130,9 @@ TEST(DynamicRangeMax, RandomInterleavingMatchesBrute) {
       auto got = rm.QueryMax({a, b});
       auto want = test::BruteMax<Range1DProblem>(shadow, {a, b});
       ASSERT_EQ(got.has_value(), want.has_value());
-      if (got.has_value()) ASSERT_EQ(got->id, want->id);
+      if (got.has_value()) {
+        ASSERT_EQ(got->id, want->id);
+      }
     }
   }
 }

@@ -96,7 +96,9 @@ TEST_P(EmKdSweep, DominanceMatchesBrute) {
     auto gmax = t.QueryMax(q);
     auto wmax = test::BruteMax<DominanceProblem>(data, q);
     ASSERT_EQ(gmax.has_value(), wmax.has_value());
-    if (gmax.has_value()) ASSERT_EQ(gmax->id, wmax->id);
+    if (gmax.has_value()) {
+      ASSERT_EQ(gmax->id, wmax->id);
+    }
   }
 }
 
@@ -124,7 +126,9 @@ TEST(EmKdTree, CircularMatchesBrute) {
     auto gmax = t.QueryMax(q);
     auto wmax = test::BruteMax<CircularProblem>(data, q);
     ASSERT_EQ(gmax.has_value(), wmax.has_value());
-    if (gmax.has_value()) ASSERT_EQ(gmax->id, wmax->id);
+    if (gmax.has_value()) {
+      ASSERT_EQ(gmax->id, wmax->id);
+    }
   }
 }
 

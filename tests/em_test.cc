@@ -251,7 +251,9 @@ TEST(EmBPlusTree, QueryMaxMatchesBrute) {
       auto got = tree.QueryMax({a, b});
       auto want = test::BruteMax<Range1DProblem>(data, {a, b});
       ASSERT_EQ(got.has_value(), want.has_value()) << "n=" << n;
-      if (got.has_value()) ASSERT_EQ(got->id, want->id) << "n=" << n;
+      if (got.has_value()) {
+        ASSERT_EQ(got->id, want->id) << "n=" << n;
+      }
     }
   }
 }
@@ -325,7 +327,9 @@ TEST(EmBPlusTree, BulkLoadFromExternalSortMatches) {
     auto got = bulk.QueryMax({a, b});
     auto want = reference.QueryMax({a, b});
     ASSERT_EQ(got.has_value(), want.has_value());
-    if (got.has_value()) ASSERT_EQ(got->id, want->id);
+    if (got.has_value()) {
+      ASSERT_EQ(got->id, want->id);
+    }
     std::vector<Point1D> got_range;
     bulk.RangeReport({a, b}, [&](const Point1D& p) {
       got_range.push_back(p);

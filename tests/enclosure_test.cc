@@ -134,7 +134,9 @@ TEST_P(EnclosureSweep, MaxMatchesBrute) {
     auto got = s.QueryMax(q);
     auto want = test::BruteMax<EnclosureProblem>(data, q);
     ASSERT_EQ(got.has_value(), want.has_value());
-    if (got.has_value()) ASSERT_EQ(got->id, want->id);
+    if (got.has_value()) {
+      ASSERT_EQ(got->id, want->id);
+    }
   }
   // Exact-corner probes.
   for (size_t i = 0; i < std::min<size_t>(data.size(), 20); ++i) {
@@ -145,7 +147,9 @@ TEST_P(EnclosureSweep, MaxMatchesBrute) {
       auto got = s.QueryMax(q);
       auto want = test::BruteMax<EnclosureProblem>(data, q);
       ASSERT_EQ(got.has_value(), want.has_value());
-      if (got.has_value()) ASSERT_EQ(got->id, want->id);
+      if (got.has_value()) {
+        ASSERT_EQ(got->id, want->id);
+      }
     }
   }
 }

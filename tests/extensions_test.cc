@@ -87,7 +87,9 @@ TEST(LogarithmicMethod, MaxMatchesBruteUnderInsertions) {
       auto got = s.QueryMax(q);
       auto want = test::BruteMax<StabProblem>(shadow, q);
       ASSERT_EQ(got.has_value(), want.has_value());
-      if (got.has_value()) ASSERT_EQ(got->id, want->id);
+      if (got.has_value()) {
+        ASSERT_EQ(got->id, want->id);
+      }
     }
   }
 }

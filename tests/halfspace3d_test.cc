@@ -78,7 +78,9 @@ TEST_P(Halfspace3Sweep, PrioritizedAndMaxMatchBrute) {
     auto gmax = t.QueryMax(q);
     auto wmax = test::BruteMax<Halfspace3Problem>(data, q);
     ASSERT_EQ(gmax.has_value(), wmax.has_value());
-    if (gmax.has_value()) ASSERT_EQ(gmax->id, wmax->id);
+    if (gmax.has_value()) {
+      ASSERT_EQ(gmax->id, wmax->id);
+    }
   }
 }
 
@@ -137,7 +139,9 @@ TEST(KdTreeDegenerate, CollinearPoints) {
     auto gmax = t.QueryMax(q);
     auto wmax = test::BruteMax<Halfspace3Problem>(data, q);
     ASSERT_EQ(gmax.has_value(), wmax.has_value());
-    if (gmax.has_value()) ASSERT_EQ(gmax->id, wmax->id);
+    if (gmax.has_value()) {
+      ASSERT_EQ(gmax->id, wmax->id);
+    }
   }
 }
 

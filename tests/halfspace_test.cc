@@ -99,7 +99,9 @@ TEST_P(HalfspaceSweep, MaxMatchesBrute) {
     auto got = s.QueryMax(q);
     auto want = test::BruteMax<HalfplaneProblem>(data, q);
     ASSERT_EQ(got.has_value(), want.has_value());
-    if (got.has_value()) ASSERT_EQ(got->id, want->id);
+    if (got.has_value()) {
+      ASSERT_EQ(got->id, want->id);
+    }
   }
 }
 

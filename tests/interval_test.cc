@@ -132,7 +132,9 @@ TEST_P(StabSweep, MaxMatchesBrute) {
     auto got = sm.QueryMax(q);
     auto want = test::BruteMax<StabProblem>(data, q);
     ASSERT_EQ(got.has_value(), want.has_value()) << "q=" << q;
-    if (got.has_value()) ASSERT_EQ(got->id, want->id) << "q=" << q;
+    if (got.has_value()) {
+      ASSERT_EQ(got->id, want->id) << "q=" << q;
+    }
   }
 }
 
@@ -147,7 +149,9 @@ TEST_P(StabSweep, MaxAtExactEndpoints) {
       auto got = sm.QueryMax(q);
       auto want = test::BruteMax<StabProblem>(data, q);
       ASSERT_EQ(got.has_value(), want.has_value());
-      if (got.has_value()) ASSERT_EQ(got->id, want->id);
+      if (got.has_value()) {
+        ASSERT_EQ(got->id, want->id);
+      }
     }
   }
 }

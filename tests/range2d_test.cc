@@ -120,7 +120,9 @@ TEST_P(Range2DSweep, MaxMatchesBrute) {
     auto got = s.QueryMax({x1, x2, y1, y2});
     auto want = test::BruteMax<Range2DProblem>(data, {x1, x2, y1, y2});
     ASSERT_EQ(got.has_value(), want.has_value());
-    if (got.has_value()) ASSERT_EQ(got->id, want->id);
+    if (got.has_value()) {
+      ASSERT_EQ(got->id, want->id);
+    }
   }
 }
 
@@ -170,7 +172,9 @@ TEST(Range2D, MaxTieBreaksGlobally) {
     auto got = s.QueryMax({x1, x2, y1, y2});
     auto want = test::BruteMax<Range2DProblem>(data, {x1, x2, y1, y2});
     ASSERT_EQ(got.has_value(), want.has_value());
-    if (got.has_value()) ASSERT_EQ(got->id, want->id);
+    if (got.has_value()) {
+      ASSERT_EQ(got->id, want->id);
+    }
   }
 }
 

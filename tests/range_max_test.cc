@@ -61,7 +61,9 @@ TEST_P(RangeMaxSweep, MatchesBruteForce) {
     auto got = rm.QueryMax({a, b});
     auto want = test::BruteMax<Range1DProblem>(data, {a, b});
     ASSERT_EQ(got.has_value(), want.has_value());
-    if (got.has_value()) EXPECT_EQ(got->id, want->id);
+    if (got.has_value()) {
+      EXPECT_EQ(got->id, want->id);
+    }
   }
 }
 

@@ -74,7 +74,10 @@ TEST(Lemma1, EmpiricalSuccessProbability) {
   for (int t = 0; t < trials; ++t) {
     std::vector<Point1D> sample = PSample(data, p, &rng);
     const size_t r = Lemma1SampleRank(k, p);
-    if (sample.size() <= 2.0 * k * p) continue;  // first bullet failed
+    if (static_cast<double>(sample.size()) <=
+        2.0 * static_cast<double>(k) * p) {
+      continue;  // first bullet failed
+    }
     std::sort(sample.begin(), sample.end(), ByWeightDesc());
     if (sample.size() < r) continue;
     const Point1D& e = sample[r - 1];
@@ -113,7 +116,8 @@ TEST(Lemma3, EmpiricalSuccessProbability) {
       if (sorted[ground_rank].id == mx->id) break;
     }
     ++ground_rank;
-    if (ground_rank > K && ground_rank <= 4 * K) ++successes;
+    const double rank = static_cast<double>(ground_rank);
+    if (rank > K && rank <= 4 * K) ++successes;
   }
   EXPECT_GT(successes, static_cast<int>(0.09 * trials));
 }
@@ -169,7 +173,8 @@ TEST(CoreSet, PivotRankLandsInWindow) {
     for (const Point1D& d : data) {
       if (HeavierThan(d, e)) ++ground_rank;
     }
-    if (ground_rank >= K && ground_rank <= 4 * K) ++successes;
+    const double rank = static_cast<double>(ground_rank);
+    if (rank >= K && rank <= 4 * K) ++successes;
   }
   // With the paper constants this holds w.h.p.; demand a strong majority.
   EXPECT_GT(successes, trials * 8 / 10);

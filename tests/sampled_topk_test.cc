@@ -24,7 +24,12 @@ using range1d::Range1D;
 using range1d::Range1DProblem;
 using range1d::RangeMax;
 
-using TopK = SampledTopK<Range1DProblem, PrioritySearchTree, RangeMax>;
+// Under -DTOPK_AUDIT=ON both substrates are audit wrappers (contract
+// verification on every prioritized/max query in the sweep).
+using TopK = SampledTopK<
+    Range1DProblem,
+    test::MaybeAudited<PrioritySearchTree, Range1DProblem>,
+    test::MaybeAuditedMax<RangeMax, Range1DProblem>>;
 
 TEST(SampledTopK, EmptyInput) {
   TopK topk({});
@@ -74,6 +79,7 @@ TEST_P(SampledSweep, MatchesBruteForceAcrossKRegimes) {
   ReductionOptions opts;
   opts.seed = p.seed * 31;
   TopK topk(data, opts);
+  topk.AuditInvariants();
 
   std::vector<size_t> ks = {1, 2, 7, 64, 100, 1000, p.n / 2, p.n};
   for (int trial = 0; trial < 12; ++trial) {

@@ -10,12 +10,32 @@
 #include <optional>
 #include <vector>
 
+#include "audit/checked_max.h"
+#include "audit/checked_prioritized.h"
 #include "common/kselect.h"
 #include "common/random.h"
 #include "core/weighted.h"
 #include "range1d/point1d.h"
 
 namespace topk::test {
+
+// Substrate aliases for the brute-force sweeps: under -DTOPK_AUDIT=ON
+// (CMake option TOPK_AUDIT) every reduction runs over the
+// contract-verifying audit wrappers, so a substrate that emits a
+// duplicate, ignores a stop, or returns a non-maximal max aborts the
+// sweep at the violating query instead of surfacing as a wrong answer
+// (or not at all).
+#ifdef TOPK_AUDIT
+template <typename S, typename P>
+using MaybeAudited = audit::CheckedPrioritized<S, P>;
+template <typename S, typename P>
+using MaybeAuditedMax = audit::CheckedMax<S, P>;
+#else
+template <typename S, typename P>
+using MaybeAudited = S;
+template <typename S, typename P>
+using MaybeAuditedMax = S;
+#endif
 
 // n weighted 1D points with x in [0, 1) and unique ids; weights are
 // random but distinct-by-id ties never arise in practice.

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for src/ headers and sources.
+
+Usage: tools/lint.py <dir-or-file>...
+
+Checks (see CLAUDE.md conventions):
+  guard        .h files carry an include guard named TOPK_<PATH>_H_
+               derived from the path under src/, opened within the first
+               30 lines and closed by a matching `#endif  // ...` tail;
+               `#pragma once` is banned.
+  namespace    every header declares `namespace topk` (possibly nested,
+               e.g. `namespace topk::range1d`).
+  assert       bare `assert(` is banned — use TOPK_CHECK (always on) or
+               TOPK_DCHECK (debug only). static_assert is fine.
+  random       direct RNG use (`rand(`, `srand(`, `std::mt19937`,
+               `std::random_device`, `random_shuffle`) is banned outside
+               common/random.h — all randomness flows through topk::Rng
+               with explicit seeds so builds stay deterministic.
+  mutable      a `mutable` data member hides query-time state from the
+               thread-shareability gate (serve::ShareableTopKStructure
+               only sees markers). Each use must either be an inherently
+               thread-safe type (std::mutex / std::atomic), or appear in
+               a file that declares its posture via kThreadSafeQuery or
+               kExternalMemory, or carry `// lint: mutable-ok` on the
+               line with a reason the reviewer can audit.
+
+A finding prints `path:line: [rule] message`; exit status is the number
+of findings (0 = clean). Suppress any rule on one line with
+`// lint: <rule>-ok`.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+RULES = ("guard", "namespace", "assert", "random", "mutable")
+
+RANDOM_RE = re.compile(
+    r"(?<![\w:])(rand|srand)\s*\(|std::mt19937|std::random_device"
+    r"|random_shuffle")
+ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
+MUTABLE_RE = re.compile(r"^\s*mutable\s+(.*)$")
+THREAD_SAFE_TYPES_RE = re.compile(r"std::(mutex|shared_mutex|atomic)")
+
+
+def suppressed(line: str, rule: str) -> bool:
+    return f"lint: {rule}-ok" in line
+
+
+def expected_guard(path: Path, root: Path) -> str:
+    rel = path.relative_to(root) if path.is_relative_to(root) else path
+    parts = [p.upper() for p in rel.with_suffix("").parts]
+    if parts and parts[0] == "SRC":
+        parts = parts[1:]
+    return "TOPK_" + "_".join(re.sub(r"[^A-Z0-9]", "_", p) for p in parts) \
+        + "_H_"
+
+
+def check_file(path: Path, root: Path, findings: list) -> None:
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+
+    def report(lineno: int, rule: str, msg: str) -> None:
+        if lineno <= len(lines) and suppressed(lines[lineno - 1], rule):
+            return
+        findings.append(f"{path}:{lineno}: [{rule}] {msg}")
+
+    is_header = path.suffix == ".h"
+    if is_header:
+        guard = expected_guard(path, root)
+        ifndef_at = next((i for i, ln in enumerate(lines)
+                          if ln.strip() == f"#ifndef {guard}"), None)
+        if ifndef_at is None:
+            report(1, "guard", f"missing `#ifndef {guard}`")
+        elif not (ifndef_at + 1 < len(lines)
+                  and lines[ifndef_at + 1].strip() == f"#define {guard}"):
+            report(ifndef_at + 1, "guard",
+                   f"`#define {guard}` must follow the #ifndef")
+        elif not any(f"#endif  // {guard}" in ln for ln in lines[-3:]):
+            report(len(lines), "guard",
+                   f"missing trailing `#endif  // {guard}`")
+        for i, ln in enumerate(lines, 1):
+            if "#pragma once" in ln:
+                report(i, "guard", "`#pragma once` is banned; use the "
+                                   "TOPK_..._H_ guard")
+        if not re.search(r"^namespace topk\b", text, re.M):
+            report(1, "namespace", "header does not open `namespace topk`")
+
+    declares_posture = ("kThreadSafeQuery" in text
+                        or "kExternalMemory" in text)
+    in_block_comment = False
+    for i, ln in enumerate(lines, 1):
+        code = ln
+        if in_block_comment:
+            if "*/" in code:
+                code = code.split("*/", 1)[1]
+                in_block_comment = False
+            else:
+                continue
+        code = code.split("//", 1)[0]
+        if "/*" in code:
+            code = code.split("/*", 1)[0]
+            in_block_comment = "*/" not in ln.split("/*", 1)[1]
+        if not code.strip():
+            continue
+
+        if ASSERT_RE.search(code) and "static_assert" not in code:
+            report(i, "assert", "bare assert(); use TOPK_CHECK / TOPK_DCHECK")
+        if path.name != "random.h" and RANDOM_RE.search(code):
+            report(i, "random", "direct RNG use; draw from topk::Rng "
+                                "(common/random.h) with an explicit seed")
+        m = MUTABLE_RE.match(code)
+        if m and is_header:
+            decl = m.group(1)
+            if THREAD_SAFE_TYPES_RE.search(decl):
+                continue  # a mutex/atomic is safe under const by design
+            if not declares_posture:
+                report(i, "mutable",
+                       "mutable member without a thread-safety posture: "
+                       "declare kThreadSafeQuery/kExternalMemory or "
+                       "annotate `// lint: mutable-ok <reason>`")
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print("usage: lint.py <dir-or-file>...", file=sys.stderr)
+        return 2
+    files = []
+    for arg in argv:
+        p = Path(arg)
+        if p.is_dir():
+            files += sorted(p.rglob("*.h")) + sorted(p.rglob("*.cc"))
+        elif p.exists():
+            files.append(p)
+        else:
+            print(f"lint.py: no such path: {p}", file=sys.stderr)
+            return 2
+    root = Path(argv[0]) if Path(argv[0]).is_dir() else Path(".")
+    findings = []
+    for f in files:
+        check_file(f, root, findings)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s)", file=sys.stderr)
+    else:
+        print(f"lint.py: {len(files)} files clean")
+    return min(len(findings), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

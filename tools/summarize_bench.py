@@ -18,32 +18,58 @@ import signal
 import sys
 
 
-def render_serve_metrics(line: str) -> str:
-    """'metrics_json structure=X threads=N {json}' -> one compact row."""
-    head, _, payload = line.partition("{")
-    m = json.loads("{" + payload)
+class MetricsError(Exception):
+    """A metrics_json line that cannot be summarized faithfully."""
+
+
+def render_serve_metrics(line: str, lineno: int) -> str:
+    """'metrics_json structure=X threads=N {json}' -> one compact row.
+
+    Raises MetricsError on malformed JSON or missing keys: a silently
+    dropped or half-rendered row would be mistaken for a clean run when
+    diffing against EXPERIMENTS.md.
+    """
+    head, brace, payload = line.partition("{")
+    if not brace:
+        raise MetricsError(f"line {lineno}: metrics_json without a "
+                           f"JSON payload: {line!r}")
+    try:
+        m = json.loads("{" + payload)
+    except json.JSONDecodeError as e:
+        raise MetricsError(
+            f"line {lineno}: malformed metrics JSON ({e}): {line!r}") from e
     tags = " ".join(tok for tok in head.split() if "=" in tok)
-    lat = m["latency_ns"]
-    stats = m["stats"]
+    try:
+        lat = m["latency_ns"]
+        row = (
+            f"  {tags:<32} queries={m['queries']} "
+            f"p50={lat['p50'] / 1e3:.1f}us p95={lat['p95'] / 1e3:.1f}us "
+            f"p99={lat['p99'] / 1e3:.1f}us "
+        )
+        stats = m["stats"]
+    except (KeyError, TypeError) as e:
+        raise MetricsError(
+            f"line {lineno}: metrics JSON missing expected key {e}: "
+            f"{line!r}") from e
     interesting = {k: v for k, v in stats.items() if v}
-    return (
-        f"  {tags:<32} queries={m['queries']} "
-        f"p50={lat['p50'] / 1e3:.1f}us p95={lat['p95'] / 1e3:.1f}us "
-        f"p99={lat['p99'] / 1e3:.1f}us "
-        + " ".join(f"{k}={v}" for k, v in sorted(interesting.items()))
-    )
+    return row + " ".join(f"{k}={v}" for k, v in sorted(interesting.items()))
 
 
 def main() -> int:
     path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
-    with open(path, encoding="utf-8") as f:
-        lines = f.read().splitlines()
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"summarize_bench.py: cannot read {path}: {e.strerror}",
+              file=sys.stderr)
+        return 1
 
     section = None
     gbench_row = re.compile(
         r"^(\S+)\s+(\d+(?:\.\d+)?) ns\s+(\d+(?:\.\d+)?) ns\s+\d+(.*)$")
     passthrough = False
-    for line in lines:
+    for lineno, line in enumerate(lines, 1):
         if line.startswith("=== "):
             section = line.strip("= ").strip()
             # Plain-table binaries are passed through verbatim.
@@ -58,7 +84,12 @@ def main() -> int:
             continue
         if passthrough:
             if line.startswith("metrics_json "):
-                print(render_serve_metrics(line))
+                try:
+                    print(render_serve_metrics(line, lineno))
+                except MetricsError as e:
+                    print(f"summarize_bench.py: {path}: {e}",
+                          file=sys.stderr)
+                    return 1
             elif line.strip():
                 print(f"  {line}")
             continue
