@@ -114,21 +114,25 @@ void RunStructure(const char* name, const S& structure,
       best_s = std::min(best_s, std::chrono::duration<double>(t1 - t0)
                                     .count());
       for (size_t i = 0; i < results.size(); ++i) {
-        if (results[i].size() != reference[i].size()) exact = false;
-        for (size_t j = 0; exact && j < results[i].size(); ++j) {
-          if (results[i][j].id != reference[i][j]) exact = false;
+        if (!results[i].ok()) exact = false;
+        const auto& elems = results[i].elements;
+        if (elems.size() != reference[i].size()) exact = false;
+        for (size_t j = 0; exact && j < elems.size(); ++j) {
+          if (elems[j].id != reference[i][j]) exact = false;
         }
       }
     }
     const double qps = static_cast<double>(kBatch) / best_s;
     if (threads == 1) qps1 = qps;
     const serve::MetricsSnapshot m = metrics.Snapshot();
-    std::printf("%-10s %7zu %10.2f %10.0f %8.2fx %9.1f %9.1f %9.1f %6s\n",
-                name, threads, best_s * 1e3, qps, qps / qps1,
-                m.latency.PercentileNs(50.0) / 1e3,
-                m.latency.PercentileNs(95.0) / 1e3,
-                m.latency.PercentileNs(99.0) / 1e3,
-                exact ? "ok" : "FAIL");
+    std::printf(
+        "%-10s %7zu %10.2f %10.0f %8.2fx %9.1f %9.1f %9.1f %9.1f %6s\n",
+        name, threads, best_s * 1e3, qps, qps / qps1,
+        m.latency.PercentileNs(50.0) / 1e3,
+        m.latency.PercentileNs(95.0) / 1e3,
+        m.latency.PercentileNs(99.0) / 1e3,
+        static_cast<double>(m.latency.max_ns()) / 1e3,
+        exact ? "ok" : "FAIL");
     std::printf("metrics_json structure=%s threads=%zu %s\n", name,
                 threads, serve::ToJson(m).c_str());
     if (!exact) std::exit(1);
@@ -140,11 +144,11 @@ void Run() {
       "E21: batch throughput vs threads (n=%zu, batch=%zu requests,\n"
       "k=16 with every 16th k=1024; hardware_concurrency=%u).\n"
       "Columns: batch wall ms (best of %zu), queries/s, speedup vs 1\n"
-      "thread, latency p50/p95/p99 us (all runs), exactness.\n",
+      "thread, latency p50/p95/p99/max us (all runs), exactness.\n",
       kN, kBatch, std::thread::hardware_concurrency(), kTimedReps);
-  std::printf("%-10s %7s %10s %10s %9s %9s %9s %9s %6s\n", "structure",
+  std::printf("%-10s %7s %10s %10s %9s %9s %9s %9s %9s %6s\n", "structure",
               "threads", "batch_ms", "qps", "speedup", "p50_us", "p95_us",
-              "p99_us", "exact");
+              "p99_us", "max_us", "exact");
 
   const std::vector<Point1D> data = bench::Points1D(kN, 21);
   const std::vector<Work> work = MakeWorkload();

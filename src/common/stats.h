@@ -53,6 +53,12 @@ struct QueryStats {
     fn("results_returned", &QueryStats::results_returned);
   }
 
+  // The serving layer's scalar cost measure: one unit per pointer chase
+  // or per element handled. Request cost budgets (serve::Request) are
+  // denominated in these units, so a budget bounds the structure work a
+  // query may consume regardless of which counters it lands in.
+  uint64_t work() const { return nodes_visited + elements_emitted; }
+
   void Reset() { *this = QueryStats(); }
 
   QueryStats& operator+=(const QueryStats& o) {

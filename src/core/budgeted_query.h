@@ -1,0 +1,74 @@
+// Cost-monitored top-k prefix queries (the serving layer's degradation
+// primitive).
+//
+// The paper's reductions never run unbounded work: Theorem 1 replaces
+// counting with prioritized queries that stop at a budget (core/sink.h's
+// MonitoredQuery). BudgetedTopK lifts the same idea one level up, to
+// whole top-k queries: answer top-k' for k' = 1, 2, 4, ... doubling
+// toward k, consulting a stop predicate between stages. Because every
+// result is sorted heaviest-first under the strict (weight, id) order,
+// the top-k' answer IS the length-k' prefix of the top-k answer — so
+// stopping early yields a *correct prefix* of the true result, never a
+// wrong or arbitrary subset. Geometric doubling keeps the total work
+// within a constant factor of the final stage's for structures whose
+// query cost grows at least linearly in k.
+//
+// The stop predicate is consulted BETWEEN stages (cooperative, never
+// mid-query), so each stage's cost is the monitoring granularity: a
+// budget can be overshot by at most one stage, exactly like the
+// paper's budget-(4K+1) monitored queries overshoot by one emission.
+
+#ifndef TOPK_CORE_BUDGETED_QUERY_H_
+#define TOPK_CORE_BUDGETED_QUERY_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/problem.h"
+
+namespace topk {
+
+template <typename E>
+struct BudgetedResult {
+  // Heaviest-first. A prefix of the true top-k when complete is false;
+  // the full top-k when complete is true.
+  std::vector<E> elements;
+  bool complete = false;
+  size_t stages = 0;  // top-k' queries issued
+};
+
+// Runs staged top-k' queries against `s` until the answer is complete
+// (k' reached k, or the structure ran out of matches) or should_stop()
+// returns true between stages. should_stop is any callable examining
+// external state — a cost tally, a deadline clock, a cancellation flag.
+template <typename S, typename StopFn>
+  requires TopKStructure<S>
+BudgetedResult<typename S::Element> BudgetedTopK(
+    const S& s, const typename S::Predicate& q, size_t k,
+    StopFn&& should_stop, QueryStats* stats = nullptr) {
+  BudgetedResult<typename S::Element> out;
+  if (k == 0) {
+    out.complete = true;
+    return out;
+  }
+  size_t kp = 1;
+  for (;;) {
+    ++out.stages;
+    out.elements = s.Query(q, kp, stats);
+    if (kp >= k || out.elements.size() < kp) {
+      // Either the full k was answered or the structure has fewer than
+      // kp matches — in both cases this is the complete answer.
+      out.complete = true;
+      return out;
+    }
+    if (should_stop()) return out;  // correct top-kp prefix, flagged
+    kp = std::min(k, kp * 2);
+  }
+}
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_BUDGETED_QUERY_H_

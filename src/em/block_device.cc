@@ -15,16 +15,26 @@ uint64_t BlockDevice::Allocate() {
   return pages_.size() - 1;
 }
 
-void BlockDevice::Read(uint64_t page_id, uint8_t* out) {
+IoResult BlockDevice::TryRead(uint64_t page_id, uint8_t* out) {
   TOPK_CHECK(page_id < pages_.size());
   std::memcpy(out, pages_[page_id].data(), page_size_);
   ++counters_.reads;
+  return IoResult::kOk;
 }
 
-void BlockDevice::Write(uint64_t page_id, const uint8_t* data) {
+IoResult BlockDevice::TryWrite(uint64_t page_id, const uint8_t* data) {
   TOPK_CHECK(page_id < pages_.size());
   std::memcpy(pages_[page_id].data(), data, page_size_);
   ++counters_.writes;
+  return IoResult::kOk;
+}
+
+void BlockDevice::Read(uint64_t page_id, uint8_t* out) {
+  TOPK_CHECK(TryRead(page_id, out) == IoResult::kOk);
+}
+
+void BlockDevice::Write(uint64_t page_id, const uint8_t* data) {
+  TOPK_CHECK(TryWrite(page_id, data) == IoResult::kOk);
 }
 
 }  // namespace topk::em

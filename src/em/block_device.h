@@ -6,6 +6,18 @@
 // counters ARE the experiment (exact, deterministic I/O counts — see
 // DESIGN.md's substitution table). Pages are raw byte buffers; typed
 // access goes through PagedVector / the EM structures.
+//
+// Fallibility contract (src/fault/ decorators plug in here): the
+// primitive transfers are the virtual TryRead/TryWrite, which may
+// report a transient failure WITHOUT transferring data; reads and
+// writes are counted only when they succeed, so the model's I/O counts
+// stay exact under injected faults. The non-virtual Read/Write wrappers
+// are the legacy infallible surface — any failure that reaches them is
+// a programmer error or an unhandled giveup and aborts. The in-memory
+// device itself never fails; failures come from decorators
+// (fault::FaultyBlockDevice) and are absorbed by bounded retry
+// (fault::RetryingBlockDevice) or surface as a flagged degraded result
+// (BufferPool's poisoned-frame path, em/fallible.h).
 
 #ifndef TOPK_EM_BLOCK_DEVICE_H_
 #define TOPK_EM_BLOCK_DEVICE_H_
@@ -16,34 +28,67 @@
 
 namespace topk::em {
 
+// Outcome of one primitive page transfer. Transient failures model
+// recoverable faults (a bad sector read, a dropped request): the
+// operation may be retried and can succeed later.
+enum class IoResult : uint8_t {
+  kOk = 0,
+  kTransientFailure = 1,
+};
+
 struct IoCounters {
-  uint64_t reads = 0;
-  uint64_t writes = 0;
+  uint64_t reads = 0;   // successful page reads (the model's cost)
+  uint64_t writes = 0;  // successful page writes (the model's cost)
+  // Robustness-layer accounting (not model I/Os): failed attempts that
+  // were retried, and operations abandoned after the retry budget.
+  // Maintained by fault::RetryingBlockDevice; every injected fault ends
+  // up in exactly one of the two (retries + giveups = faults injected).
+  uint64_t retries = 0;
+  uint64_t giveups = 0;
   uint64_t total() const { return reads + writes; }
   void Reset() { *this = IoCounters(); }
 };
 
+// Base class: the in-memory page store, with the transfer primitives
+// virtual so decorators (src/fault/) can interpose fault injection and
+// retry policies between a BufferPool and the backing store. Decorators
+// forward Allocate/num_pages/counters to the wrapped device; only the
+// bottom of a decorator chain owns pages and counters.
 class BlockDevice {
  public:
   // page_size in bytes. The paper's B (words) corresponds to
   // page_size / 8 with 8-byte words.
   explicit BlockDevice(size_t page_size);
+  virtual ~BlockDevice() = default;
+
+  BlockDevice(const BlockDevice&) = delete;
+  BlockDevice& operator=(const BlockDevice&) = delete;
 
   size_t page_size() const { return page_size_; }
-  size_t num_pages() const { return pages_.size(); }
+  virtual size_t num_pages() const { return pages_.size(); }
 
   // Allocates a zeroed page and returns its id.
-  uint64_t Allocate();
+  virtual uint64_t Allocate();
 
-  // Copies a page into `out` (page_size bytes); counts one read.
+  // Copies a page into `out` (page_size bytes); counts one read iff it
+  // succeeds. The in-memory device always succeeds.
+  [[nodiscard]] virtual IoResult TryRead(uint64_t page_id, uint8_t* out);
+
+  // Copies `data` (page_size bytes) into the page; counts one write iff
+  // it succeeds. The in-memory device always succeeds.
+  [[nodiscard]] virtual IoResult TryWrite(uint64_t page_id,
+                                          const uint8_t* data);
+
+  // Infallible wrappers: abort on failure. For call sites with no
+  // degradation story (construction paths, tests); fault-tolerant
+  // callers use TryRead/TryWrite or go through BufferPool's
+  // poisoned-frame path.
   void Read(uint64_t page_id, uint8_t* out);
-
-  // Copies `data` (page_size bytes) into the page; counts one write.
   void Write(uint64_t page_id, const uint8_t* data);
 
-  const IoCounters& counters() const { return counters_; }
-  IoCounters* mutable_counters() { return &counters_; }
-  void ResetCounters() { counters_.Reset(); }
+  virtual const IoCounters& counters() const { return counters_; }
+  virtual IoCounters* mutable_counters() { return &counters_; }
+  void ResetCounters() { mutable_counters()->Reset(); }
 
  private:
   size_t page_size_;

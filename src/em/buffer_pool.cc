@@ -1,5 +1,7 @@
 #include "em/buffer_pool.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace topk::em {
@@ -17,6 +19,9 @@ uint8_t* BufferPool::Pin(uint64_t page_id, bool mark_dirty) {
   auto it = frames_.find(page_id);
   if (it != frames_.end()) {
     Frame& frame = it->second;
+    // Dirtying a poisoned frame would eventually write zeroes over the
+    // real page — unrecoverable, so it stays fatal.
+    TOPK_CHECK(!(frame.poisoned && mark_dirty));
     if (frame.pin_count == 0 && frame.in_lru) {
       lru_.erase(frame.lru_it);
       frame.in_lru = false;
@@ -33,7 +38,18 @@ uint8_t* BufferPool::Pin(uint64_t page_id, bool mark_dirty) {
   frame.pin_count = 1;
   frame.dirty = mark_dirty;
   frame.in_lru = false;
-  device_->Read(page_id, frame.data.data());
+  if (device_->TryRead(page_id, frame.data.data()) != IoResult::kOk) {
+    // Read-modify-write on an unreadable page cannot degrade soundly
+    // (zeroes would later be written back over the real data): fatal.
+    TOPK_CHECK(!mark_dirty);
+    // Read-only path degrades: serve zeroed bytes, poison the frame so
+    // it dies with its last pin, and raise the sticky failure flag for
+    // the query wrapper to consume (see the header comment).
+    std::fill(frame.data.begin(), frame.data.end(), uint8_t{0});
+    frame.poisoned = true;
+    io_failed_ = true;
+    ++io_failures_;
+  }
   ++misses_;
   return frame.data.data();
 }
@@ -60,6 +76,12 @@ void BufferPool::Unpin(uint64_t page_id) {
   Frame& frame = it->second;
   TOPK_CHECK(frame.pin_count > 0);
   if (--frame.pin_count == 0) {
+    if (frame.poisoned) {
+      // Never cached: a later Pin must re-attempt the device read
+      // rather than serve stale zeroes from the LRU.
+      frames_.erase(it);
+      return;
+    }
     lru_.push_back(page_id);
     frame.lru_it = std::prev(lru_.end());
     frame.in_lru = true;
@@ -84,6 +106,13 @@ void BufferPool::AuditInvariants() const {
     TOPK_CHECK(frame.pin_count >= 0);
     TOPK_CHECK_EQ(frame.in_lru, frame.pin_count == 0);
     TOPK_CHECK_EQ(frame.data.size(), device_->page_size());
+    if (frame.poisoned) {
+      // Poisoned frames live only while pinned, are never dirty (the
+      // mark_dirty path aborts instead), and never enter the LRU.
+      TOPK_CHECK(frame.pin_count > 0);
+      TOPK_CHECK(!frame.dirty);
+      TOPK_CHECK(!frame.in_lru);
+    }
     if (frame.in_lru) {
       ++unpinned;
       TOPK_CHECK_EQ(*frame.lru_it, page_id);  // iterator points home

@@ -12,6 +12,23 @@
 // mutable state — even read-only structure queries mutate the LRU list
 // and hit/miss counters — which is why serve::QueryEngine rejects
 // EM-backed structures at compile time (see src/serve/shareable.h).
+//
+// Graceful degradation (the fault-tolerance contract with src/fault/):
+// when the device reports a transient READ failure that its retry layer
+// could not absorb, a read-only Pin does NOT abort. The frame is
+// zero-filled and marked poisoned, a sticky io_failed flag is raised,
+// and the pin proceeds so the query runs to completion on bounded,
+// well-formed (if meaningless) bytes. Poisoned frames are dropped the
+// moment their last pin is released — they never enter the LRU, so a
+// failed read cannot contaminate later queries through the cache. The
+// query wrapper (em/fallible.h) consumes the sticky flag and flags the
+// whole result as failed; a flagged result must be discarded, which is
+// why serving poisoned bytes inside the failed query is sound.
+// Failures with no sound degradation remain fatal by design: a
+// read-for-write Pin (mark_dirty) cannot substitute zeroes for the real
+// page without silent data loss, and eviction/FlushAll write-back has
+// no redo log to fall back on — both abort via the device's infallible
+// wrappers.
 
 #ifndef TOPK_EM_BUFFER_POOL_H_
 #define TOPK_EM_BUFFER_POOL_H_
@@ -40,7 +57,9 @@ class BufferPool {
 
   // Pins the page and returns its frame bytes (page_size long). The
   // frame stays valid until the matching Unpin. mark_dirty ensures
-  // write-back on eviction.
+  // write-back on eviction. A device read failure poisons the frame
+  // (see the header comment) unless mark_dirty is set, in which case it
+  // aborts.
   uint8_t* Pin(uint64_t page_id, bool mark_dirty = false);
 
   // Pins a freshly allocated page: installs a zeroed frame WITHOUT a
@@ -50,7 +69,8 @@ class BufferPool {
   // this path instead silently drops the read charge).
   uint8_t* PinFresh(uint64_t page_id);
 
-  // Releases one pin. The page must currently be pinned.
+  // Releases one pin. The page must currently be pinned. Dropping the
+  // last pin of a poisoned frame discards it.
   void Unpin(uint64_t page_id);
 
   // Writes back every dirty frame (counts writes) and drops all clean
@@ -62,10 +82,23 @@ class BufferPool {
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
 
+  // Sticky failure state: raised by a poisoned Pin, lowered only by
+  // ConsumeIoFailure. A query wrapper clears it before querying and
+  // consumes it after, flagging the result if any pin in between failed.
+  bool io_failed() const { return io_failed_; }
+  bool ConsumeIoFailure() {
+    const bool failed = io_failed_;
+    io_failed_ = false;
+    return failed;
+  }
+  // Total read failures that surfaced as poisoned frames.
+  uint64_t io_failures() const { return io_failures_; }
+
   // Audit hook (src/audit/, -DTOPK_AUDIT=ON test sweeps): pin-ledger
-  // consistency — frame count within capacity, pins non-negative, and
-  // the LRU list holding exactly the unpinned frames with back-pointing
-  // iterators. Aborts via TOPK_CHECK on violation.
+  // consistency — frame count within capacity, pins non-negative, the
+  // LRU list holding exactly the unpinned frames with back-pointing
+  // iterators, and poisoned frames always pinned, never dirty, never in
+  // the LRU. Aborts via TOPK_CHECK on violation.
   void AuditInvariants() const;
 
  private:
@@ -74,6 +107,7 @@ class BufferPool {
     uint64_t page_id = 0;
     int pin_count = 0;
     bool dirty = false;
+    bool poisoned = false;  // device read failed; dropped on last Unpin
     std::list<uint64_t>::iterator lru_it;  // valid iff pin_count == 0
     bool in_lru = false;
   };
@@ -86,14 +120,16 @@ class BufferPool {
   std::list<uint64_t> lru_;  // front = least recently used, unpinned only
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  bool io_failed_ = false;
+  uint64_t io_failures_ = 0;
 };
 
 // RAII pin.
 class PageRef {
  public:
-  PageRef(BufferPool* pool, uint64_t page_id, bool dirty = false)
+  PageRef(BufferPool* pool, uint64_t page_id, bool mark_dirty = false)
       : pool_(pool), page_id_(page_id),
-        data_(pool->Pin(page_id, dirty)) {}
+        data_(pool->Pin(page_id, mark_dirty)) {}
   ~PageRef() { pool_->Unpin(page_id_); }
 
   PageRef(const PageRef&) = delete;

@@ -1,0 +1,125 @@
+// Deterministic fault injection: failpoints and the site registry.
+//
+// A FailPoint decides, per call, whether a fault fires at one code
+// site. Two trigger modes compose (either firing fires the point):
+//   * every_nth — fires on calls N, 2N, 3N, ... (N = 1 means every
+//     call). Fully deterministic; chaos tests use it to script exact
+//     fault schedules.
+//   * probability — an independent Bernoulli(p) per call, drawn from a
+//     topk::Rng seeded at arm time, so a given (seed, call sequence)
+//     always produces the same schedule. "Random" faults are therefore
+//     replayable: re-arming with the same seed replays the run.
+//
+// An Injector is a registry of named sites ("block_device.read", ...).
+// Instrumented code asks Trigger(site) on every operation; un-armed
+// sites never fire and cost one hash lookup. Each site's Rng is seeded
+// from the injector seed mixed with the site name, so arming sites in a
+// different order does not change any site's schedule.
+//
+// Thread-safety: an Injector is deliberately single-threaded mutable
+// state, like the BufferPool it typically sits under — the EM stack it
+// instruments is single-threaded by contract (serve/shareable.h).
+
+#ifndef TOPK_FAULT_FAILPOINT_H_
+#define TOPK_FAULT_FAILPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace topk::fault {
+
+struct FailPointConfig {
+  double probability = 0.0;  // Bernoulli(p) per call; 0 disables
+  uint64_t every_nth = 0;    // fire on every Nth call; 0 disables
+};
+
+class FailPoint {
+ public:
+  FailPoint(const FailPointConfig& config, uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  // Advances the deterministic state and reports whether the fault
+  // fires on this call.
+  bool Trigger() {
+    ++calls_;
+    bool fire = config_.every_nth > 0 && calls_ % config_.every_nth == 0;
+    // The Bernoulli draw is skipped when every_nth already fired, so
+    // the probability stream stays aligned with non-fired calls.
+    if (!fire && config_.probability > 0.0) {
+      fire = rng_.Bernoulli(config_.probability);
+    }
+    if (fire) ++triggers_;
+    return fire;
+  }
+
+  uint64_t calls() const { return calls_; }
+  uint64_t triggers() const { return triggers_; }
+
+ private:
+  FailPointConfig config_;
+  Rng rng_;
+  uint64_t calls_ = 0;
+  uint64_t triggers_ = 0;
+};
+
+class Injector {
+ public:
+  explicit Injector(uint64_t seed = 0) : seed_(seed) {}
+
+  // Arms (or re-arms, with a fresh schedule) the named site. Returns
+  // the failpoint for counter inspection; the reference stays valid
+  // until the site is re-armed or disarmed (std::map node stability).
+  FailPoint& Arm(const std::string& site, const FailPointConfig& config) {
+    return points_.insert_or_assign(site, FailPoint(config, SiteSeed(site)))
+        .first->second;
+  }
+
+  void Disarm(const std::string& site) { points_.erase(site); }
+  void DisarmAll() { points_.clear(); }
+
+  // nullptr when the site is not armed.
+  const FailPoint* Find(const std::string& site) const {
+    auto it = points_.find(site);
+    return it == points_.end() ? nullptr : &it->second;
+  }
+
+  // The instrumentation hook: false for un-armed sites.
+  bool Trigger(const std::string& site) {
+    auto it = points_.find(site);
+    return it != points_.end() && it->second.Trigger();
+  }
+
+  uint64_t triggers(const std::string& site) const {
+    const FailPoint* p = Find(site);
+    return p == nullptr ? 0 : p->triggers();
+  }
+  uint64_t calls(const std::string& site) const {
+    const FailPoint* p = Find(site);
+    return p == nullptr ? 0 : p->calls();
+  }
+
+ private:
+  // FNV-1a over the site name, mixed into the injector seed: the same
+  // (seed, site) pair always yields the same schedule, independent of
+  // arm order or of what other sites exist.
+  uint64_t SiteSeed(const std::string& site) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : site) {
+      h ^= static_cast<uint8_t>(c);
+      h *= 0x100000001b3ULL;
+    }
+    return h ^ seed_;
+  }
+
+  uint64_t seed_;
+  std::map<std::string, FailPoint> points_;
+};
+
+}  // namespace topk::fault
+
+#endif  // TOPK_FAULT_FAILPOINT_H_

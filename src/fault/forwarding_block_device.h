@@ -1,0 +1,56 @@
+// Decorator base for em::BlockDevice: forwards every operation to a
+// wrapped device. FaultyBlockDevice and RetryingBlockDevice override
+// just the transfer primitives; everything else — allocation, page
+// count, the I/O counters — resolves to the bottom of the chain, so a
+// BufferPool stacked on any decorator chain sees one coherent device
+// and one set of counters. (The em::BlockDevice base's own page store
+// and counters stay empty/unused in a decorator.)
+
+#ifndef TOPK_FAULT_FORWARDING_BLOCK_DEVICE_H_
+#define TOPK_FAULT_FORWARDING_BLOCK_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/check.h"
+#include "em/block_device.h"
+
+namespace topk::fault {
+
+class ForwardingBlockDevice : public em::BlockDevice {
+ public:
+  explicit ForwardingBlockDevice(em::BlockDevice* inner)
+      : em::BlockDevice(inner == nullptr ? 1 : inner->page_size()),
+        inner_(inner) {
+    TOPK_CHECK(inner_ != nullptr);
+  }
+
+  size_t num_pages() const override { return inner_->num_pages(); }
+  uint64_t Allocate() override { return inner_->Allocate(); }
+
+  [[nodiscard]] em::IoResult TryRead(uint64_t page_id,
+                                     uint8_t* out) override {
+    return inner_->TryRead(page_id, out);
+  }
+  [[nodiscard]] em::IoResult TryWrite(uint64_t page_id,
+                                      const uint8_t* data) override {
+    return inner_->TryWrite(page_id, data);
+  }
+
+  const em::IoCounters& counters() const override {
+    return inner_->counters();
+  }
+  em::IoCounters* mutable_counters() override {
+    return inner_->mutable_counters();
+  }
+
+ protected:
+  em::BlockDevice* inner() const { return inner_; }
+
+ private:
+  em::BlockDevice* inner_;
+};
+
+}  // namespace topk::fault
+
+#endif  // TOPK_FAULT_FORWARDING_BLOCK_DEVICE_H_

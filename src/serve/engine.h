@@ -1,4 +1,4 @@
-// Concurrent batched top-k query engine.
+// Concurrent batched top-k query engine with graceful degradation.
 //
 // A QueryEngine wraps one shared, already-built, const top-k structure
 // and answers batches of (predicate, k) requests on a fixed thread
@@ -8,6 +8,23 @@
 // all accounting to thread-local tallies; the only synchronization on
 // the query path is the cursor's fetch_add. After the batch barrier the
 // tallies are merged into an optional serve::Metrics registry.
+//
+// Robustness layer (see serve/result.h for the per-slot contract):
+//   * Admission control — Options::max_batch bounds how many requests
+//     of a batch are admitted; the tail beyond it is shed (kShed)
+//     without ever touching the structure.
+//   * Cancellation — Cancel() is cooperative: checked between requests
+//     (remaining ones shed) and between the stages of cost-monitored
+//     loops (the prefix so far is returned flagged kDegraded). The
+//     flag clears when the batch finishes.
+//   * Cost budgets — Request::cost_budget bounds the QueryStats work
+//     units a request may consume. The request runs as a staged
+//     doubling loop (core/budgeted_query.h), so exceeding the budget
+//     yields a flagged, heaviest-first PREFIX of the true top-k —
+//     bounded work, never wrong output.
+//   * Deadlines — Request::deadline_ns is a wall-clock bound relative
+//     to batch start, checked before the request and between stages
+//     (kDeadlineExceeded, same prefix guarantee).
 //
 // Thread-safety contract: the structure must satisfy
 // ShareableTopKStructure — const-queryable with no hidden mutable
@@ -24,12 +41,15 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "common/stats.h"
+#include "core/budgeted_query.h"
 #include "serve/histogram.h"
 #include "serve/metrics.h"
+#include "serve/result.h"
 #include "serve/shareable.h"
 #include "serve/thread_pool.h"
 
@@ -41,6 +61,11 @@ template <typename Predicate>
 struct Request {
   Predicate predicate;
   size_t k = 1;
+  // Degradation knobs; 0 disables either. cost_budget is in QueryStats
+  // work units (QueryStats::work); deadline_ns is wall-clock time from
+  // batch start. A request with neither runs the plain single Query.
+  uint64_t cost_budget = 0;
+  uint64_t deadline_ns = 0;
 };
 
 template <ShareableTopKStructure Structure>
@@ -49,28 +74,42 @@ class QueryEngine {
   using Element = typename Structure::Element;
   using Predicate = typename Structure::Predicate;
   using Request = serve::Request<Predicate>;
+  using Result = QueryResult<Element>;
 
   struct Options {
     size_t num_threads = 1;
+    // Admission control: at most this many requests of a batch are
+    // served; the rest are shed. 0 = unbounded.
+    size_t max_batch = 0;
   };
 
   // `structure` must outlive the engine. `metrics` may be null (no
   // registry) or shared between engines; it must outlive the engine.
   QueryEngine(const Structure* structure, const Options& options,
               Metrics* metrics = nullptr)
-      : structure_(structure), metrics_(metrics),
+      : structure_(structure), metrics_(metrics), max_batch_(options.max_batch),
         pool_(options.num_threads) {
     TOPK_CHECK(structure_ != nullptr);
   }
 
   size_t num_threads() const { return pool_.num_threads(); }
 
+  // Requests cooperative cancellation of the current (or, if none is
+  // running, the next) batch: unstarted requests are shed, in-flight
+  // cost-monitored loops stop at the next stage boundary with a
+  // degraded prefix. Safe to call from any thread; the flag clears when
+  // the batch completes.
+  void Cancel() { cancel_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
   // Answers requests[i] into slot i of the returned vector — order is
   // preserved regardless of which worker served which request.
-  std::vector<std::vector<Element>> QueryBatch(
-      const std::vector<Request>& requests) {
-    std::vector<std::vector<Element>> results(requests.size());
+  std::vector<Result> QueryBatch(const std::vector<Request>& requests) {
+    std::vector<Result> results(requests.size());
     if (requests.empty()) {
+      cancel_.store(false, std::memory_order_relaxed);
       if (metrics_ != nullptr) {
         MetricsSnapshot empty;
         empty.batches = 1;
@@ -79,6 +118,11 @@ class QueryEngine {
       return results;
     }
 
+    const size_t admitted =
+        max_batch_ == 0 ? requests.size()
+                        : (requests.size() < max_batch_ ? requests.size()
+                                                        : max_batch_);
+    const auto batch_start = Clock::now();
     std::vector<MetricsSnapshot> tallies(pool_.num_threads());
     std::atomic<size_t> cursor{0};
     pool_.RunOnAll([&](size_t worker) {
@@ -86,18 +130,27 @@ class QueryEngine {
       for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
            i < requests.size();
            i = cursor.fetch_add(1, std::memory_order_relaxed)) {
-        const auto start = std::chrono::steady_clock::now();
-        results[i] = structure_->Query(requests[i].predicate,
-                                       requests[i].k, &tally.stats);
-        const auto stop = std::chrono::steady_clock::now();
-        tally.stats.results_returned += results[i].size();
+        Result& slot = results[i];
+        // Admission control and between-request cancellation: shed
+        // slots must not touch the structure at all.
+        if (i >= admitted || cancel_requested()) {
+          slot.status = ResultStatus::kShed;
+          tally.CountStatus(slot.status);
+          continue;
+        }
+        const auto start = Clock::now();
+        ServeOne(requests[i], batch_start, &slot, &tally.stats);
+        const auto stop = Clock::now();
+        tally.stats.results_returned += slot.elements.size();
         tally.latency.Record(static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(stop -
                                                                  start)
                 .count()));
         ++tally.queries;
+        tally.CountStatus(slot.status);
       }
     });
+    cancel_.store(false, std::memory_order_relaxed);
 
     if (metrics_ != nullptr) {
       MetricsSnapshot batch;
@@ -109,8 +162,54 @@ class QueryEngine {
   }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  void ServeOne(const Request& r, Clock::time_point batch_start,
+                Result* slot, QueryStats* stats) const {
+    const bool has_deadline = r.deadline_ns > 0;
+    const auto deadline =
+        batch_start + std::chrono::nanoseconds(r.deadline_ns);
+    if (has_deadline && Clock::now() >= deadline) {
+      // Already late: the empty prefix, flagged. Zero structure work.
+      slot->status = ResultStatus::kDeadlineExceeded;
+      return;
+    }
+    if (r.cost_budget == 0 && !has_deadline) {
+      slot->elements = structure_->Query(r.predicate, r.k, stats);
+      slot->status = ResultStatus::kOk;
+      return;
+    }
+    // Cost-monitored path: staged doubling with the stop predicate
+    // consulted between stages; the reason for the LAST stop check to
+    // fire decides the flag.
+    const uint64_t work_start = stats->work();
+    ResultStatus stop_reason = ResultStatus::kOk;
+    auto should_stop = [&] {
+      if (cancel_requested()) {
+        stop_reason = ResultStatus::kDegraded;
+        return true;
+      }
+      if (r.cost_budget > 0 &&
+          stats->work() - work_start >= r.cost_budget) {
+        stop_reason = ResultStatus::kDegraded;
+        return true;
+      }
+      if (has_deadline && Clock::now() >= deadline) {
+        stop_reason = ResultStatus::kDeadlineExceeded;
+        return true;
+      }
+      return false;
+    };
+    BudgetedResult<Element> b =
+        BudgetedTopK(*structure_, r.predicate, r.k, should_stop, stats);
+    slot->elements = std::move(b.elements);
+    slot->status = b.complete ? ResultStatus::kOk : stop_reason;
+  }
+
   const Structure* structure_;
   Metrics* metrics_;
+  size_t max_batch_;
+  std::atomic<bool> cancel_{false};
   ThreadPool pool_;
 };
 

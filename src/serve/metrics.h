@@ -19,6 +19,7 @@
 
 #include "common/stats.h"
 #include "serve/histogram.h"
+#include "serve/result.h"
 
 namespace topk::serve {
 
@@ -26,29 +27,53 @@ namespace topk::serve {
 struct MetricsSnapshot {
   QueryStats stats;
   LatencyHistogram latency;
-  uint64_t queries = 0;
+  uint64_t queries = 0;  // requests actually served (shed ones excluded)
   uint64_t batches = 0;
+  // Degradation outcomes, one count per request slot (ok + degraded +
+  // deadline_exceeded == queries; shed slots never ran).
+  uint64_t ok = 0;
+  uint64_t degraded = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_exceeded = 0;
+
+  void CountStatus(ResultStatus s) {
+    switch (s) {
+      case ResultStatus::kOk: ++ok; break;
+      case ResultStatus::kDegraded: ++degraded; break;
+      case ResultStatus::kShed: ++shed; break;
+      case ResultStatus::kDeadlineExceeded: ++deadline_exceeded; break;
+    }
+  }
 
   void Merge(const MetricsSnapshot& o) {
     stats += o.stats;
     latency.Merge(o.latency);
     queries += o.queries;
     batches += o.batches;
+    ok += o.ok;
+    degraded += o.degraded;
+    shed += o.shed;
+    deadline_exceeded += o.deadline_exceeded;
   }
 };
 
 // Renders a snapshot as one JSON object (no trailing newline), e.g.
-//   {"queries":128,"batches":2,"stats":{"nodes_visited":9000,...},
+//   {"queries":128,"batches":2,
+//    "results":{"ok":120,"degraded":6,"shed":0,"deadline_exceeded":2},
+//    "stats":{"nodes_visited":9000,...},
 //    "latency_ns":{"count":128,"mean":810.5,"min":402,"p50":771.0,
 //                  "p95":1523.1,"p99":1898.0,"max":2210}}
 inline std::string ToJson(const MetricsSnapshot& s) {
-  char buf[160];
+  char buf[256];
   std::string out;
   out.reserve(512);
   std::snprintf(buf, sizeof(buf),
                 "{\"queries\":%" PRIu64 ",\"batches\":%" PRIu64
-                ",\"stats\":{",
-                s.queries, s.batches);
+                ",\"results\":{\"ok\":%" PRIu64 ",\"degraded\":%" PRIu64
+                ",\"shed\":%" PRIu64 ",\"deadline_exceeded\":%" PRIu64
+                "},\"stats\":{",
+                s.queries, s.batches, s.ok, s.degraded, s.shed,
+                s.deadline_exceeded);
   out += buf;
   bool first = true;
   QueryStats::ForEachField([&](const char* name, auto member) {

@@ -1,0 +1,57 @@
+// Per-request result slots and the graceful-degradation contract.
+//
+// Every request served by a QueryEngine gets exactly one status:
+//
+//   kOk               — elements is the exact top-k (brute-force equal).
+//   kDegraded         — the cost budget or a cancellation stopped the
+//                       cost-monitored loop early; elements is a correct
+//                       HEAVIEST-FIRST PREFIX of the true top-k (possibly
+//                       empty), never a wrong or arbitrary subset.
+//   kDeadlineExceeded — the request's deadline passed before or during
+//                       serving; same correct-prefix guarantee.
+//   kShed             — admission control (or cancellation) dropped the
+//                       request before it touched the structure at all;
+//                       elements is empty.
+//
+// The prefix guarantee is what makes degraded answers USEFUL: a client
+// that asked for 100 results and got 16 flagged kDegraded holds the true
+// 16 heaviest matches and can re-ask with a larger budget for the rest.
+// It falls out of the strict (weight, id) total order — see
+// core/budgeted_query.h.
+
+#ifndef TOPK_SERVE_RESULT_H_
+#define TOPK_SERVE_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace topk::serve {
+
+enum class ResultStatus : uint8_t {
+  kOk = 0,
+  kDegraded = 1,
+  kShed = 2,
+  kDeadlineExceeded = 3,
+};
+
+constexpr const char* ToString(ResultStatus s) {
+  switch (s) {
+    case ResultStatus::kOk: return "ok";
+    case ResultStatus::kDegraded: return "degraded";
+    case ResultStatus::kShed: return "shed";
+    case ResultStatus::kDeadlineExceeded: return "deadline_exceeded";
+  }
+  return "unknown";
+}
+
+template <typename E>
+struct QueryResult {
+  std::vector<E> elements;
+  ResultStatus status = ResultStatus::kOk;
+
+  bool ok() const { return status == ResultStatus::kOk; }
+};
+
+}  // namespace topk::serve
+
+#endif  // TOPK_SERVE_RESULT_H_

@@ -74,7 +74,7 @@ TEST(BufferPool, LruEvictionAndDirtyWriteback) {
   for (int i = 0; i < 6; ++i) ids.push_back(dev.Allocate());
   BufferPool pool(&dev, 2);
   {
-    em::PageRef a(&pool, ids[0], /*dirty=*/true);
+    em::PageRef a(&pool, ids[0], /*mark_dirty=*/true);
     a.data()[0] = 42;
   }
   {
@@ -139,6 +139,21 @@ TEST(BufferPoolDeathTest, DoubleUnpinAborts) {
   pool.Pin(p);
   pool.Unpin(p);
   EXPECT_DEATH(pool.Unpin(p), "TOPK_CHECK");
+}
+
+// Manually unpinning a page that a live PageRef still guards makes the
+// ref's destructor the second Unpin — the classic RAII misuse, caught
+// by the same pin-ledger check.
+TEST(BufferPoolDeathTest, PageRefDoubleUnpinAborts) {
+  BlockDevice dev(128);
+  const uint64_t p = dev.Allocate();
+  BufferPool pool(&dev, 2);
+  EXPECT_DEATH(
+      {
+        em::PageRef ref(&pool, p);
+        pool.Unpin(p);  // steals the ref's pin; ~PageRef double-unpins
+      },
+      "TOPK_CHECK");
 }
 
 TEST(BufferPoolDeathTest, FlushAllWithLivePinAborts) {

@@ -1,0 +1,300 @@
+// The fault-injection subsystem: failpoint determinism, the injector's
+// site registry, the faulty / retrying block-device decorators and
+// their accounting identities, and the buffer pool's poisoned-frame
+// graceful degradation.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "em/block_device.h"
+#include "em/buffer_pool.h"
+#include "fault/failpoint.h"
+#include "fault/faulty_block_device.h"
+#include "fault/retrying_block_device.h"
+
+namespace topk {
+namespace {
+
+using em::BlockDevice;
+using em::BufferPool;
+using em::IoResult;
+using fault::FailPoint;
+using fault::FailPointConfig;
+using fault::FaultyBlockDevice;
+using fault::Injector;
+using fault::RetryingBlockDevice;
+
+// --- FailPoint ------------------------------------------------------------
+
+TEST(FailPoint, EveryNthFiresOnExactSchedule) {
+  FailPoint p({.every_nth = 3}, /*seed=*/0);
+  std::vector<bool> fired;
+  for (int i = 0; i < 10; ++i) fired.push_back(p.Trigger());
+  const std::vector<bool> want = {false, false, true, false, false,
+                                  true,  false, false, true,  false};
+  EXPECT_EQ(fired, want);
+  EXPECT_EQ(p.calls(), 10u);
+  EXPECT_EQ(p.triggers(), 3u);
+}
+
+TEST(FailPoint, EveryCallFiresAlways) {
+  FailPoint p({.every_nth = 1}, 0);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(p.Trigger());
+  EXPECT_EQ(p.triggers(), 5u);
+}
+
+TEST(FailPoint, UnconfiguredNeverFires) {
+  FailPoint p({}, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(p.Trigger());
+  EXPECT_EQ(p.calls(), 100u);
+  EXPECT_EQ(p.triggers(), 0u);
+}
+
+TEST(FailPoint, ProbabilityIsSeedDeterministic) {
+  const FailPointConfig cfg{.probability = 0.3};
+  FailPoint a(cfg, 42), b(cfg, 42), other(cfg, 43);
+  std::vector<bool> sa, sb, so;
+  for (int i = 0; i < 500; ++i) {
+    sa.push_back(a.Trigger());
+    sb.push_back(b.Trigger());
+    so.push_back(other.Trigger());
+  }
+  EXPECT_EQ(sa, sb);          // same seed => same schedule, replayable
+  EXPECT_NE(sa, so);          // different seed => different schedule
+  EXPECT_GT(a.triggers(), 0u);
+  EXPECT_LT(a.triggers(), 500u);  // p = 0.3 is neither never nor always
+}
+
+// --- Injector -------------------------------------------------------------
+
+TEST(Injector, UnarmedSitesNeverFireAndCountNothing) {
+  Injector inj(1);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(inj.Trigger("nope"));
+  EXPECT_EQ(inj.calls("nope"), 0u);
+  EXPECT_EQ(inj.Find("nope"), nullptr);
+}
+
+TEST(Injector, SiteScheduleIsIndependentOfArmOrder) {
+  const FailPointConfig cfg{.probability = 0.5};
+  Injector ab(9), ba(9);
+  ab.Arm("site.a", cfg);
+  ab.Arm("site.b", cfg);
+  ba.Arm("site.b", cfg);
+  ba.Arm("site.a", cfg);
+  std::vector<bool> a1, a2, b1, b2;
+  for (int i = 0; i < 200; ++i) {
+    a1.push_back(ab.Trigger("site.a"));
+    b1.push_back(ab.Trigger("site.b"));
+    a2.push_back(ba.Trigger("site.a"));
+    b2.push_back(ba.Trigger("site.b"));
+  }
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(b1, b2);
+  EXPECT_NE(a1, b1);  // distinct sites get distinct streams
+}
+
+TEST(Injector, DisarmStopsFiringAndRearmRestartsTheSchedule) {
+  Injector inj(3);
+  inj.Arm("s", {.every_nth = 2});
+  EXPECT_FALSE(inj.Trigger("s"));
+  EXPECT_TRUE(inj.Trigger("s"));
+  inj.Disarm("s");
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(inj.Trigger("s"));
+  // Re-arming resets the call counter: the schedule starts over.
+  inj.Arm("s", {.every_nth = 2});
+  EXPECT_FALSE(inj.Trigger("s"));
+  EXPECT_TRUE(inj.Trigger("s"));
+  EXPECT_EQ(inj.triggers("s"), 1u);
+  EXPECT_EQ(inj.calls("s"), 2u);
+}
+
+// --- FaultyBlockDevice ----------------------------------------------------
+
+TEST(FaultyBlockDevice, FailedTransfersAreNeverCounted) {
+  BlockDevice base(64);
+  const uint64_t p = base.Allocate();
+  Injector inj(1);
+  FaultyBlockDevice faulty(&base, &inj);
+  std::vector<uint8_t> buf(64, 3);
+  ASSERT_EQ(faulty.TryWrite(p, buf.data()), IoResult::kOk);
+  EXPECT_EQ(base.counters().writes, 1u);
+
+  inj.Arm(fault::kReadFaultSite, {.every_nth = 1});
+  std::vector<uint8_t> out(64, 0);
+  EXPECT_EQ(faulty.TryRead(p, out.data()), IoResult::kTransientFailure);
+  EXPECT_EQ(out[0], 0);                    // transfer did not happen
+  EXPECT_EQ(base.counters().reads, 0u);    // ... and was not charged
+  EXPECT_EQ(faulty.read_faults(), 1u);
+  EXPECT_EQ(inj.triggers(fault::kReadFaultSite), 1u);
+
+  inj.DisarmAll();
+  ASSERT_EQ(faulty.TryRead(p, out.data()), IoResult::kOk);
+  EXPECT_EQ(out[0], 3);
+  EXPECT_EQ(base.counters().reads, 1u);
+}
+
+TEST(FaultyBlockDevice, WriteFaultsAndAlternatingSchedule) {
+  BlockDevice base(64);
+  const uint64_t p = base.Allocate();
+  Injector inj(1);
+  FaultyBlockDevice faulty(&base, &inj);
+  inj.Arm(fault::kWriteFaultSite, {.every_nth = 2});
+  std::vector<uint8_t> buf(64, 9);
+  ASSERT_EQ(faulty.TryWrite(p, buf.data()), IoResult::kOk);
+  EXPECT_EQ(faulty.TryWrite(p, buf.data()), IoResult::kTransientFailure);
+  ASSERT_EQ(faulty.TryWrite(p, buf.data()), IoResult::kOk);
+  EXPECT_EQ(faulty.write_faults(), 1u);
+  EXPECT_EQ(base.counters().writes, 2u);
+}
+
+TEST(FaultyBlockDevice, LatencySpikesAreAccountedNotSlept) {
+  BlockDevice base(64);
+  const uint64_t p = base.Allocate();
+  std::vector<uint8_t> buf(64, 0);
+  ASSERT_EQ(base.TryWrite(p, buf.data()), IoResult::kOk);
+  Injector inj(5);
+  FaultyBlockDevice faulty(&base, &inj, {.spike_ns = 250});
+  inj.Arm(fault::kLatencySite, {.every_nth = 2});
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(faulty.TryRead(p, buf.data()), IoResult::kOk);
+  }
+  EXPECT_EQ(faulty.latency_spikes(), 3u);
+  EXPECT_EQ(faulty.simulated_latency_ns(), 750u);
+}
+
+// --- RetryingBlockDevice --------------------------------------------------
+
+TEST(RetryingBlockDevice, AbsorbedFaultsLeaveIoCountsIdentical) {
+  BlockDevice base(64);
+  const uint64_t p = base.Allocate();
+  std::vector<uint8_t> buf(64, 11);
+  ASSERT_EQ(base.TryWrite(p, buf.data()), IoResult::kOk);
+
+  Injector inj(2);
+  FaultyBlockDevice faulty(&base, &inj);
+  RetryingBlockDevice retry(&faulty, {.max_attempts = 3});
+  // Every 2nd read attempt faults; with 3 attempts every fault is
+  // absorbed, so the caller sees only successes.
+  inj.Arm(fault::kReadFaultSite, {.every_nth = 2});
+  base.ResetCounters();
+  std::vector<uint8_t> out(64, 0);
+  for (int i = 0; i < 8; ++i) {
+    out[0] = 0;
+    ASSERT_EQ(retry.TryRead(p, out.data()), IoResult::kOk);
+    EXPECT_EQ(out[0], 11);
+  }
+  // Identical to the fault-free run: one successful read per call.
+  EXPECT_EQ(base.counters().reads, 8u);
+  EXPECT_EQ(base.counters().giveups, 0u);
+  // The accounting identity: every injected fault became a retry.
+  EXPECT_EQ(base.counters().retries, faulty.read_faults());
+  EXPECT_GT(faulty.read_faults(), 0u);
+  EXPECT_GT(retry.simulated_backoff_ns(), 0u);
+}
+
+TEST(RetryingBlockDevice, ExhaustedRetriesSurfaceAsGiveup) {
+  BlockDevice base(64);
+  const uint64_t p = base.Allocate();
+  Injector inj(2);
+  FaultyBlockDevice faulty(&base, &inj);
+  RetryingBlockDevice retry(&faulty, {.max_attempts = 4});
+  inj.Arm(fault::kReadFaultSite, {.every_nth = 1});  // unrecoverable
+  std::vector<uint8_t> out(64);
+  EXPECT_EQ(retry.TryRead(p, out.data()), IoResult::kTransientFailure);
+  EXPECT_EQ(base.counters().reads, 0u);
+  EXPECT_EQ(base.counters().retries, 3u);  // attempts 1..3 re-tried
+  EXPECT_EQ(base.counters().giveups, 1u);  // attempt 4 gave up
+  EXPECT_EQ(faulty.read_faults(),
+            base.counters().retries + base.counters().giveups);
+}
+
+TEST(RetryingBlockDevice, BackoffGrowsGeometrically) {
+  BlockDevice base(64);
+  const uint64_t p = base.Allocate();
+  Injector inj(2);
+  FaultyBlockDevice faulty(&base, &inj);
+  RetryingBlockDevice retry(
+      &faulty,
+      {.max_attempts = 4, .backoff_base_ns = 100, .backoff_multiplier = 2.0});
+  inj.Arm(fault::kReadFaultSite, {.every_nth = 1});
+  std::vector<uint8_t> out(64);
+  EXPECT_EQ(retry.TryRead(p, out.data()), IoResult::kTransientFailure);
+  // Three waits between four attempts: 100 + 200 + 400.
+  EXPECT_EQ(retry.simulated_backoff_ns(), 700u);
+}
+
+// --- BufferPool graceful degradation --------------------------------------
+
+struct FaultyPoolFixture {
+  BlockDevice base{128};
+  Injector inj{17};
+  FaultyBlockDevice faulty{&base, &inj};
+  RetryingBlockDevice retry{&faulty, {.max_attempts = 2}};
+  BufferPool pool{&retry, 4};
+
+  uint64_t WritePage(uint8_t fill) {
+    const uint64_t p = base.Allocate();
+    std::vector<uint8_t> buf(128, fill);
+    TOPK_CHECK(base.TryWrite(p, buf.data()) == em::IoResult::kOk);
+    return p;
+  }
+};
+
+TEST(BufferPoolFaults, GiveupPoisonsFrameInsteadOfAborting) {
+  FaultyPoolFixture fx;
+  const uint64_t p = fx.WritePage(55);
+  fx.inj.Arm(fault::kReadFaultSite, {.every_nth = 1});  // every read dies
+
+  uint8_t* data = fx.pool.Pin(p);  // does NOT abort
+  EXPECT_EQ(data[0], 0);           // zero-filled, well-formed bytes
+  EXPECT_TRUE(fx.pool.io_failed());
+  EXPECT_EQ(fx.pool.io_failures(), 1u);
+  fx.pool.Unpin(p);  // last pin drops the poisoned frame
+
+  // The poisoned frame was never cached: after the fault clears, the
+  // next pin re-reads the device and sees the real bytes.
+  fx.inj.DisarmAll();
+  EXPECT_TRUE(fx.pool.ConsumeIoFailure());
+  EXPECT_FALSE(fx.pool.ConsumeIoFailure());  // consumed exactly once
+  data = fx.pool.Pin(p);
+  EXPECT_EQ(data[0], 55);
+  fx.pool.Unpin(p);
+  EXPECT_FALSE(fx.pool.io_failed());
+}
+
+TEST(BufferPoolFaults, AbsorbedRetriesAreInvisibleToThePool) {
+  FaultyPoolFixture fx;
+  const uint64_t p = fx.WritePage(77);
+  // One fault then success: max_attempts = 2 absorbs it.
+  fx.inj.Arm(fault::kReadFaultSite, {.every_nth = 2});
+  // Schedule: call 1 ok ... make the first attempt the faulting one by
+  // burning call 1 on a scratch page.
+  const uint64_t scratch = fx.WritePage(1);
+  std::vector<uint8_t> buf(128);
+  ASSERT_EQ(fx.retry.TryRead(scratch, buf.data()), IoResult::kOk);
+
+  uint8_t* data = fx.pool.Pin(p);  // attempt faults (call 2), retry ok
+  EXPECT_EQ(data[0], 77);
+  EXPECT_FALSE(fx.pool.io_failed());
+  EXPECT_EQ(fx.base.counters().retries, 1u);
+  EXPECT_EQ(fx.base.counters().giveups, 0u);
+  fx.pool.Unpin(p);
+}
+
+using BufferPoolFaultDeathTest = ::testing::Test;
+
+TEST(BufferPoolFaultDeathTest, MarkDirtyPinOnUnreadablePageAborts) {
+  // A read-for-write pin cannot substitute zeroes for the real page
+  // without silent data loss — it stays fatal by design.
+  FaultyPoolFixture fx;
+  const uint64_t p = fx.WritePage(1);
+  fx.inj.Arm(fault::kReadFaultSite, {.every_nth = 1});
+  EXPECT_DEATH(fx.pool.Pin(p, /*mark_dirty=*/true), "TOPK_CHECK");
+}
+
+}  // namespace
+}  // namespace topk

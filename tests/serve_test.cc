@@ -210,9 +210,10 @@ void ExpectBatchExact(const S& structure, const ServeFixture& fx,
   for (size_t i = 0; i < fx.requests.size(); ++i) {
     auto want = test::BruteTopK<Range1DProblem>(
         fx.data, fx.requests[i].predicate, fx.requests[i].k);
-    ASSERT_EQ(test::IdsOf(results[i]), test::IdsOf(want))
+    EXPECT_TRUE(results[i].ok()) << "request " << i;
+    ASSERT_EQ(test::IdsOf(results[i].elements), test::IdsOf(want))
         << "request " << i << " at " << num_threads << " threads";
-    returned += results[i].size();
+    returned += results[i].elements.size();
   }
   const MetricsSnapshot m = metrics.Snapshot();
   EXPECT_EQ(m.queries, fx.requests.size());
@@ -242,7 +243,8 @@ TEST(QueryEngine, MultiThreadMatchesSingleThreadExactly) {
   const auto b = four.QueryBatch(fx.requests);
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(test::IdsOf(a[i]), test::IdsOf(b[i])) << "request " << i;
+    EXPECT_EQ(test::IdsOf(a[i].elements), test::IdsOf(b[i].elements))
+        << "request " << i;
   }
 }
 
@@ -276,10 +278,10 @@ TEST(QueryEngine, EdgeBatches) {
                                                {{0.2, 0.4}, 0}};
   auto results = engine.QueryBatch(tiny);
   ASSERT_EQ(results.size(), 2u);
-  EXPECT_EQ(test::IdsOf(results[0]),
+  EXPECT_EQ(test::IdsOf(results[0].elements),
             test::IdsOf(test::BruteTopK<Range1DProblem>(fx.data,
                                                         {0.0, 1.0}, 5)));
-  EXPECT_TRUE(results[1].empty());
+  EXPECT_TRUE(results[1].elements.empty());
   EXPECT_EQ(metrics.Snapshot().queries, 2u);
 
   // Batches accumulate in the shared registry.
@@ -295,8 +297,8 @@ TEST(QueryEngine, EmptyStructure) {
       &empty, {.num_threads = 2});
   auto results = engine.QueryBatch({{{0.0, 1.0}, 3}, {{0.5, 0.6}, 1}});
   ASSERT_EQ(results.size(), 2u);
-  EXPECT_TRUE(results[0].empty());
-  EXPECT_TRUE(results[1].empty());
+  EXPECT_TRUE(results[0].elements.empty());
+  EXPECT_TRUE(results[1].elements.empty());
 }
 
 }  // namespace

@@ -1,0 +1,23 @@
+// Lint self-test fixture (linted, never compiled): the sleep rule must
+// flag the bare sleep_for below, and honor the one-line suppression.
+
+#ifndef TOPK_SLEEPY_H_
+#define TOPK_SLEEPY_H_
+
+#include <chrono>
+#include <thread>
+
+namespace topk {
+
+inline void BadWait() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+inline void JustifiedWait() {
+  std::this_thread::sleep_until(  // lint: sleep-ok fixture suppression
+      std::chrono::steady_clock::now());
+}
+
+}  // namespace topk
+
+#endif  // TOPK_SLEEPY_H_

@@ -35,6 +35,8 @@ function(expect_run rc_want out_want)
 endfunction()
 
 expect_run(zero "p50=0.8us"      ${FIXTURES}/good_bench_output.txt)
+expect_run(zero "max=2.2us"      ${FIXTURES}/good_bench_output.txt)
+expect_run(zero "deadline_exceeded=2 degraded=6" ${FIXTURES}/good_bench_output.txt)
 expect_run(zero "BM_Thm1CoreSet" ${FIXTURES}/good_bench_output.txt)
 expect_run(nonzero "malformed metrics JSON" ${FIXTURES}/bad_json_bench_output.txt)
 expect_run(nonzero "missing expected key"   ${FIXTURES}/missing_key_bench_output.txt)

@@ -23,6 +23,12 @@ Checks (see CLAUDE.md conventions):
                a file that declares its posture via kThreadSafeQuery or
                kExternalMemory, or carry `// lint: mutable-ok` on the
                line with a reason the reviewer can audit.
+  sleep        `sleep_for` / `sleep_until` is banned outside src/fault/
+               (simulated latency spikes and retry backoff, off by
+               default) and serve/thread_pool.h — a sleep anywhere else
+               either hides a missing synchronization primitive or
+               wrecks benchmark determinism. Suppress a justified use
+               with `// lint: sleep-ok <reason>`.
 
 A finding prints `path:line: [rule] message`; exit status is the number
 of findings (0 = clean). Suppress any rule on one line with
@@ -33,7 +39,7 @@ import re
 import sys
 from pathlib import Path
 
-RULES = ("guard", "namespace", "assert", "random", "mutable")
+RULES = ("guard", "namespace", "assert", "random", "mutable", "sleep")
 
 RANDOM_RE = re.compile(
     r"(?<![\w:])(rand|srand)\s*\(|std::mt19937|std::random_device"
@@ -41,6 +47,12 @@ RANDOM_RE = re.compile(
 ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
 MUTABLE_RE = re.compile(r"^\s*mutable\s+(.*)$")
 THREAD_SAFE_TYPES_RE = re.compile(r"std::(mutex|shared_mutex|atomic)")
+SLEEP_RE = re.compile(r"\bsleep_(for|until)\s*\(")
+
+
+def sleep_sanctioned(path: Path) -> bool:
+    """The two homes where a real sleep is part of the contract."""
+    return "fault" in path.parts or path.name == "thread_pool.h"
 
 
 def suppressed(line: str, rule: str) -> bool:
@@ -109,6 +121,11 @@ def check_file(path: Path, root: Path, findings: list) -> None:
         if path.name != "random.h" and RANDOM_RE.search(code):
             report(i, "random", "direct RNG use; draw from topk::Rng "
                                 "(common/random.h) with an explicit seed")
+        if not sleep_sanctioned(path) and SLEEP_RE.search(code):
+            report(i, "sleep", "sleep_for/sleep_until outside src/fault/ "
+                               "and serve/thread_pool.h; a sleep hides a "
+                               "missing sync primitive or wrecks benchmark "
+                               "determinism")
         m = MUTABLE_RE.match(code)
         if m and is_header:
             decl = m.group(1)

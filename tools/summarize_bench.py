@@ -44,13 +44,19 @@ def render_serve_metrics(line: str, lineno: int) -> str:
         row = (
             f"  {tags:<32} queries={m['queries']} "
             f"p50={lat['p50'] / 1e3:.1f}us p95={lat['p95'] / 1e3:.1f}us "
-            f"p99={lat['p99'] / 1e3:.1f}us "
+            f"p99={lat['p99'] / 1e3:.1f}us max={lat['max'] / 1e3:.1f}us "
         )
         stats = m["stats"]
     except (KeyError, TypeError) as e:
         raise MetricsError(
             f"line {lineno}: metrics JSON missing expected key {e}: "
             f"{line!r}") from e
+    # Degradation outcomes (serve/result.h); absent in pre-ResultStatus
+    # captures, rendered only when any request did not come back ok.
+    results = m.get("results", {})
+    degraded = {k: v for k, v in results.items() if k != "ok" and v}
+    if degraded:
+        row += " ".join(f"{k}={v}" for k, v in sorted(degraded.items())) + " "
     interesting = {k: v for k, v in stats.items() if v}
     return row + " ".join(f"{k}={v}" for k, v in sorted(interesting.items()))
 
@@ -76,7 +82,7 @@ def main() -> int:
             passthrough = section in {
                 "bench_space", "bench_lemmas", "bench_em", "bench_rounds",
                 "bench_ablation", "bench_build", "bench_selectivity",
-                "bench_serve",
+                "bench_serve", "bench_chaos",
             }
             print(f"\n## {section}")
             continue
