@@ -20,6 +20,7 @@
 #include "common/random.h"
 #include "core/core_set_topk.h"
 #include "core/sampled_topk.h"
+#include "core/sink.h"
 #include "em/block_device.h"
 #include "em/buffer_pool.h"
 #include "em/em_range1d.h"
@@ -106,10 +107,12 @@ Row Measure(size_t block_words) {
 
   row.pri = measure([&] {
     size_t sink = 0;
-    pri.QueryPrioritized(query(), tau, [&sink](const Point1D&) {
-      ++sink;
-      return true;
-    });
+    IssuePrioritized(pri, query(), tau,
+                     [&sink](const Point1D&) {
+                       ++sink;
+                       return true;
+                     },
+                     nullptr);
   });
   row.max = measure([&] { max_struct.QueryMax(query()); });
   row.thm1 = measure([&] { thm1.Query(query(), 16); });

@@ -11,6 +11,7 @@
 #include "bench_common.h"
 #include "common/random.h"
 #include "core/core_set_topk.h"
+#include "core/sink.h"
 #include "core/topk_to_prioritized.h"
 #include "range1d/point1d.h"
 #include "range1d/pst.h"
@@ -41,10 +42,12 @@ void BM_NativePrioritized(benchmark::State& state) {
   Rng rng(4);
   for (auto _ : state) {
     size_t count = 0;
-    s.QueryPrioritized(RandomQuery(&rng), kTau, [&count](const Point1D&) {
-      ++count;
-      return true;
-    });
+    IssuePrioritized(s, RandomQuery(&rng), kTau,
+                     [&count](const Point1D&) {
+                       ++count;
+                       return true;
+                     },
+                     nullptr);
     benchmark::DoNotOptimize(count);
   }
   state.counters["n"] = static_cast<double>(n);
@@ -62,10 +65,12 @@ void BM_SynthesizedFromTopK(benchmark::State& state) {
   Rng rng(4);
   for (auto _ : state) {
     size_t count = 0;
-    s.QueryPrioritized(RandomQuery(&rng), kTau, [&count](const Point1D&) {
-      ++count;
-      return true;
-    });
+    IssuePrioritized(s, RandomQuery(&rng), kTau,
+                     [&count](const Point1D&) {
+                       ++count;
+                       return true;
+                     },
+                     nullptr);
     benchmark::DoNotOptimize(count);
   }
   state.counters["n"] = static_cast<double>(n);

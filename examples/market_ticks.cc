@@ -10,6 +10,7 @@
 
 #include "common/random.h"
 #include "core/sampled_topk.h"
+#include "core/sink.h"
 #include "core/topk_to_prioritized.h"
 #include "interval/interval.h"
 #include "interval/seg_stab.h"
@@ -49,10 +50,12 @@ int main() {
   topk::TopKToPrioritized<Book> above_limit(std::move(book));
   const double t = 2.0 * 3600, limit = 109.99;
   size_t count = 0;
-  above_limit.QueryPrioritized(t, limit, [&count](const Interval&) {
-    ++count;
-    return true;
-  });
+  topk::IssuePrioritized(above_limit, t, limit,
+                         [&count](const Interval&) {
+                           ++count;
+                           return true;
+                         },
+                         nullptr);
   std::printf("\nOrders active at t=%.0fs priced >= $%.2f: %zu\n", t, limit,
               count);
   return 0;

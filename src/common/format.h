@@ -1,0 +1,59 @@
+// Measured printf-append: formatted output that can never truncate.
+//
+// serve::ToJson (and the trace exporter) used to snprintf into a fixed
+// stack buffer, which silently truncated once counters approached their
+// 64-bit range — emitting malformed JSON that downstream tooling then
+// had to reject. AppendF formats into a stack buffer for the common
+// short case and, when vsnprintf reports the output did not fit,
+// retries into the destination string's own storage sized from the
+// measured length. Output length is therefore unbounded by any buffer
+// the caller chose.
+
+#ifndef TOPK_COMMON_FORMAT_H_
+#define TOPK_COMMON_FORMAT_H_
+
+#include <cstdarg>
+#include <cstddef>
+#include <cstdio>
+#include <string>
+
+#include "common/check.h"
+
+namespace topk {
+
+// Appends printf(fmt, ...) to *out; returns the number of characters
+// appended. An encoding error from vsnprintf is programmer error and
+// aborts.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+inline size_t
+AppendF(std::string* out, const char* fmt, ...) {
+  char buf[192];
+  va_list args;
+  va_start(args, fmt);
+  va_list retry;
+  va_copy(retry, args);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  TOPK_CHECK(n >= 0);
+  const size_t len = static_cast<size_t>(n);
+  if (len < sizeof(buf)) {
+    out->append(buf, len);
+  } else {
+    // Did not fit: vsnprintf measured the true length above; write the
+    // full output straight into the string (+1 for the terminator the
+    // final resize drops again).
+    const size_t old = out->size();
+    out->resize(old + len + 1);
+    const int m = std::vsnprintf(out->data() + old, len + 1, fmt, retry);
+    TOPK_CHECK_EQ(m, n);
+    out->resize(old + len);
+  }
+  va_end(retry);
+  return len;
+}
+
+}  // namespace topk
+
+#endif  // TOPK_COMMON_FORMAT_H_

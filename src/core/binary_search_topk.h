@@ -26,6 +26,7 @@
 #include "common/stats.h"
 #include "core/problem.h"
 #include "core/sink.h"
+#include "trace/tracer.h"
 
 namespace topk {
 
@@ -41,30 +42,35 @@ template <typename Pri, typename Predicate,
           typename Element = typename Pri::Element>
 std::vector<Element> BinarySearchTopKQuery(
     const Pri& pri, const std::vector<double>& weights_desc,
-    const Predicate& q, size_t k, QueryStats* stats = nullptr) {
+    const Predicate& q, size_t k, QueryStats* stats = nullptr,
+    trace::Tracer* tracer = nullptr) {
   std::vector<Element> result;
   if (k == 0 || weights_desc.empty()) return result;
   if (k > weights_desc.size()) k = weights_desc.size();
+  trace::Span span(tracer, "binary_search", stats);
 
   // Binary search for the first (largest-weight) index idx such that
   // count(weights_desc[idx]) >= k.
+  uint64_t probes = 0;
   size_t lo = 0;                    // count(w[lo..]) may be < k
   size_t hi = weights_desc.size();  // sentinel: tau = -inf
   while (lo < hi) {
     const size_t mid = lo + (hi - lo) / 2;
+    ++probes;
     MonitoredResult<Element> probe =
-        MonitoredQuery(pri, q, weights_desc[mid], k, stats);
+        MonitoredQuery(pri, q, weights_desc[mid], k, stats, tracer);
     if (probe.hit_budget) {
       hi = mid;  // count >= k at mid; try a higher threshold.
     } else {
       lo = mid + 1;  // count < k; lower the threshold.
     }
   }
+  span.Arg("probes", probes);
   const double tau = (lo < weights_desc.size())
                          ? weights_desc[lo]
                          : -std::numeric_limits<double>::infinity();
   MonitoredResult<Element> fin =
-      MonitoredQuery(pri, q, tau, pri.size() + 1, stats);
+      MonitoredQuery(pri, q, tau, pri.size() + 1, stats, tracer);
   SelectTopK(&fin.elements, k);
   return fin.elements;
 }
@@ -87,8 +93,9 @@ class BinarySearchTopK {
   size_t size() const { return pri_.size(); }
 
   std::vector<Element> Query(const Predicate& q, size_t k,
-                             QueryStats* stats = nullptr) const {
-    return BinarySearchTopKQuery(pri_, weights_desc_, q, k, stats);
+                             QueryStats* stats = nullptr,
+                             trace::Tracer* tracer = nullptr) const {
+    return BinarySearchTopKQuery(pri_, weights_desc_, q, k, stats, tracer);
   }
 
   const Pri& prioritized() const { return pri_; }

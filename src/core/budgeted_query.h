@@ -28,6 +28,7 @@
 
 #include "common/stats.h"
 #include "core/problem.h"
+#include "trace/tracer.h"
 
 namespace topk {
 
@@ -48,7 +49,10 @@ template <typename S, typename StopFn>
   requires TopKStructure<S>
 BudgetedResult<typename S::Element> BudgetedTopK(
     const S& s, const typename S::Predicate& q, size_t k,
-    StopFn&& should_stop, QueryStats* stats = nullptr) {
+    StopFn&& should_stop, QueryStats* stats = nullptr,
+    trace::Tracer* tracer = nullptr) {
+  trace::Span span(tracer, "budgeted_query", stats);
+  span.Arg("k", k);
   BudgetedResult<typename S::Element> out;
   if (k == 0) {
     out.complete = true;
@@ -57,14 +61,29 @@ BudgetedResult<typename S::Element> BudgetedTopK(
   size_t kp = 1;
   for (;;) {
     ++out.stages;
-    out.elements = s.Query(q, kp, stats);
+    {
+      // The TopKStructure concept only guarantees Query(q, kp, stats);
+      // pass the tracer through when the structure accepts one.
+      trace::Span stage(tracer, "budgeted_stage", stats);
+      stage.Arg("kp", kp);
+      if constexpr (requires { s.Query(q, kp, stats, tracer); }) {
+        out.elements = s.Query(q, kp, stats, tracer);
+      } else {
+        out.elements = s.Query(q, kp, stats);
+      }
+    }
     if (kp >= k || out.elements.size() < kp) {
       // Either the full k was answered or the structure has fewer than
       // kp matches — in both cases this is the complete answer.
       out.complete = true;
+      span.Arg("stages", out.stages);
       return out;
     }
-    if (should_stop()) return out;  // correct top-kp prefix, flagged
+    if (should_stop()) {
+      span.Arg("stages", out.stages);
+      span.Arg("stopped", 1);
+      return out;  // correct top-kp prefix, flagged
+    }
     kp = std::min(k, kp * 2);
   }
 }

@@ -45,6 +45,7 @@
 #include "core/reduction_options.h"
 #include "core/sink.h"
 #include "core/top_f.h"
+#include "trace/tracer.h"
 
 namespace topk {
 
@@ -127,26 +128,31 @@ class CoreSetTopK {
   // The k heaviest elements of q(D), heaviest first (all of q(D) when
   // |q(D)| < k). Exact for every input and every random draw.
   std::vector<Element> Query(const Predicate& q, size_t k,
-                             QueryStats* stats = nullptr) const {
+                             QueryStats* stats = nullptr,
+                             trace::Tracer* tracer = nullptr) const {
     std::vector<Element> result;
     if (k == 0 || n_ == 0) return result;
     constexpr double kNegInf = -std::numeric_limits<double>::infinity();
     const Pri& pri = chain_->level0();
+    trace::Span span(tracer, "thm1_query", stats);
+    span.Arg("k", k);
 
     if (k <= f_) {
-      std::optional<std::vector<Element>> top = chain_->QueryTopF(q, stats);
+      std::optional<std::vector<Element>> top =
+          chain_->QueryTopF(q, stats, tracer);
       if (top.has_value()) {
         if (top->size() > k) top->resize(k);  // already sorted desc
         return *std::move(top);
       }
-      return Fallback(q, k, stats);
+      return Fallback(q, k, stats, tracer);
     }
 
     if (k >= n_ / 2) {
       // Read everything: O(n/B) = O(k/B).
+      span.Arg("full_scan", 1);
       if (stats != nullptr) ++stats->full_scans;
       MonitoredResult<Element> all =
-          MonitoredQuery(pri, q, kNegInf, n_ + 1, stats);
+          MonitoredQuery(pri, q, kNegInf, n_ + 1, stats, tracer);
       SelectTopK(&all.elements, k);
       return all.elements;
     }
@@ -160,27 +166,34 @@ class CoreSetTopK {
       K *= 2.0;
       ++i;
     }
+    // Which rung of the large-k ladder (core-set R_i, K = 2^{i-1} f)
+    // this query probed — the per-query attribution E23 cares about.
+    span.Arg("core_set_level", i);
     const size_t budget = static_cast<size_t>(4.0 * K) + 1;
     MonitoredResult<Element> probe =
-        MonitoredQuery(pri, q, kNegInf, budget, stats);
+        MonitoredQuery(pri, q, kNegInf, budget, stats, tracer);
     if (!probe.hit_budget) {
       SelectTopK(&probe.elements, k);
       return probe.elements;
     }
-    if (i == 0 || i > large_k_chains_.size()) return Fallback(q, k, stats);
+    if (i == 0 || i > large_k_chains_.size()) {
+      return Fallback(q, k, stats, tracer);
+    }
 
     std::optional<std::vector<Element>> top =
-        large_k_chains_[i - 1].QueryTopF(q, stats);
+        large_k_chains_[i - 1].QueryTopF(q, stats, tracer);
     const size_t rank = CoreSetRank(n_, Problem::kLambda,
                                     options_.constant_scale);
-    if (!top.has_value() || top->size() < rank) return Fallback(q, k, stats);
+    if (!top.has_value() || top->size() < rank) {
+      return Fallback(q, k, stats, tracer);
+    }
     const double tau = (*top)[rank - 1].weight;
 
     // Pivot rank is in [K, 4K] w.h.p.; allow 2x slack.
     MonitoredResult<Element> fetched = MonitoredQuery(
-        pri, q, tau, static_cast<size_t>(8.0 * K) + 1, stats);
+        pri, q, tau, static_cast<size_t>(8.0 * K) + 1, stats, tracer);
     if (fetched.hit_budget || fetched.elements.size() < k) {
-      return Fallback(q, k, stats);
+      return Fallback(q, k, stats, tracer);
     }
     SelectTopK(&fetched.elements, k);
     return fetched.elements;
@@ -203,10 +216,12 @@ class CoreSetTopK {
   }
 
   std::vector<Element> Fallback(const Predicate& q, size_t k,
-                                QueryStats* stats) const {
+                                QueryStats* stats,
+                                trace::Tracer* tracer) const {
+    trace::Instant(tracer, "fallback");
     if (stats != nullptr) ++stats->fallbacks;
     return BinarySearchTopKQuery(chain_->level0(), weights_desc_, q, k,
-                                 stats);
+                                 stats, tracer);
   }
 
   ReductionOptions options_;

@@ -45,6 +45,7 @@
 #include "core/problem.h"
 #include "core/reduction_options.h"
 #include "core/sink.h"
+#include "trace/tracer.h"
 
 namespace topk {
 
@@ -63,6 +64,12 @@ class SampledTopK {
   // thread-shareability check.
   using Prioritized = Pri;
   using MaxSubstrate = Max;
+
+  // Verdict codes recorded on "thm2_round" trace spans.
+  static constexpr uint64_t kRoundSuccess = 0;        // step-4 fetch won
+  static constexpr uint64_t kRoundProbeComplete = 1;  // step-1 probe won
+  static constexpr uint64_t kRoundEmptySample = 2;    // q(R_j) was empty
+  static constexpr uint64_t kRoundMiss = 3;           // advance to j + 1
 
   // Membership bookkeeping (id -> sampled levels) is only needed to
   // support Erase; skip it entirely for static instantiations.
@@ -118,10 +125,13 @@ class SampledTopK {
   // The k heaviest elements of q(D), heaviest first. Exact always;
   // expected cost O(Q_pri + Q_max + k/B).
   std::vector<Element> Query(const Predicate& q, size_t k,
-                             QueryStats* stats = nullptr) const {
+                             QueryStats* stats = nullptr,
+                             trace::Tracer* tracer = nullptr) const {
     std::vector<Element> result;
     if (k == 0 || n_ == 0) return result;
     constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+    trace::Span span(tracer, "thm2_query", stats);
+    span.Arg("k", k);
 
     // Queries below B*Q_max are served as top-(B*Q_max) + k-selection.
     const double k_eff =
@@ -135,17 +145,23 @@ class SampledTopK {
         break;
       }
     }
-    if (i == levels_.size()) return ScanAll(q, k, stats);
+    if (i == levels_.size()) return ScanAll(q, k, stats, tracer);
 
     for (size_t j = i; j < levels_.size(); ++j) {
       if (stats != nullptr) ++stats->rounds;
       const Level& level = levels_[j];
       const size_t budget = static_cast<size_t>(4.0 * level.K) + 1;
+      // One Lemma 3 round: sample level, K_j, and how it ended
+      // (kRound* below) are the per-round attribution E23 cares about.
+      trace::Span round(tracer, "thm2_round", stats);
+      round.Arg("level", j);
+      round.Arg("K", static_cast<uint64_t>(level.K));
 
       // Step 1: if |q(D)| <= 4K_j the monitored query completes.
       MonitoredResult<Element> probe =
-          MonitoredQuery(*pri_, q, kNegInf, budget, stats);
+          MonitoredQuery(*pri_, q, kNegInf, budget, stats, tracer);
       if (!probe.hit_budget) {
+        round.Arg("verdict", kRoundProbeComplete);
         SelectTopK(&probe.elements, k);
         return probe.elements;
       }
@@ -153,21 +169,27 @@ class SampledTopK {
       // Step 2: heaviest sampled element under q.
       if (stats != nullptr) ++stats->max_queries;
       std::optional<Element> e = level.max.QueryMax(q, stats);
-      if (!e.has_value()) continue;  // tau = -inf would just repeat step 1.
+      if (!e.has_value()) {
+        // tau = -inf would just repeat step 1.
+        round.Arg("verdict", kRoundEmptySample);
+        continue;
+      }
 
       // Step 3: fetch everything at least as heavy as the sample max.
       MonitoredResult<Element> fetched =
-          MonitoredQuery(*pri_, q, e->weight, budget, stats);
+          MonitoredQuery(*pri_, q, e->weight, budget, stats, tracer);
 
       // Step 4: succeeded iff completed with |S| > K_j (Lemma 3's rank
       // window guarantees the top-k are inside S then).
       if (!fetched.hit_budget &&
           static_cast<double>(fetched.elements.size()) > level.K) {
+        round.Arg("verdict", kRoundSuccess);
         SelectTopK(&fetched.elements, k);
         return fetched.elements;
       }
+      round.Arg("verdict", kRoundMiss);
     }
-    return ScanAll(q, k, stats);  // terminal round: read the whole D.
+    return ScanAll(q, k, stats, tracer);  // terminal: read the whole D.
   }
 
   // --- Dynamic interface (requires dynamic Pri and Max) -----------------
@@ -247,11 +269,13 @@ class SampledTopK {
   }
 
   std::vector<Element> ScanAll(const Predicate& q, size_t k,
-                               QueryStats* stats) const {
+                               QueryStats* stats,
+                               trace::Tracer* tracer = nullptr) const {
     constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+    trace::Span span(tracer, "thm2_scan", stats);
     if (stats != nullptr) ++stats->full_scans;
     MonitoredResult<Element> all =
-        MonitoredQuery(*pri_, q, kNegInf, n_ + 1, stats);
+        MonitoredQuery(*pri_, q, kNegInf, n_ + 1, stats, tracer);
     SelectTopK(&all.elements, k);
     return all.elements;
   }

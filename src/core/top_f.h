@@ -36,6 +36,7 @@
 #include "core/factory.h"
 #include "core/problem.h"
 #include "core/sink.h"
+#include "trace/tracer.h"
 
 namespace topk {
 
@@ -104,9 +105,10 @@ class TopFChain {
 
   // Top-min(f, |q(S)|) elements of q(S), heaviest first; nullopt when an
   // unlucky core-set defeated the algorithm (caller must fall back).
-  std::optional<std::vector<Element>> QueryTopF(const Predicate& q,
-                                                QueryStats* stats) const {
-    return QueryLevel(0, q, stats);
+  std::optional<std::vector<Element>> QueryTopF(
+      const Predicate& q, QueryStats* stats,
+      trace::Tracer* tracer = nullptr) const {
+    return QueryLevel(0, q, stats, tracer);
   }
 
  private:
@@ -115,19 +117,24 @@ class TopFChain {
     size_t n;  // number of elements indexed at this level
   };
 
-  std::optional<std::vector<Element>> QueryLevel(size_t j, const Predicate& q,
-                                                 QueryStats* stats) const {
+  std::optional<std::vector<Element>> QueryLevel(
+      size_t j, const Predicate& q, QueryStats* stats,
+      trace::Tracer* tracer) const {
     constexpr double kNegInf = -std::numeric_limits<double>::infinity();
     const Level& level = levels_[j];
+    trace::Span span(tracer, "topf_level", stats);
+    span.Arg("level", j);
+    span.Arg("n", level.n);
     MonitoredResult<Element> r =
-        MonitoredQuery(level.pri, q, kNegInf, 4 * f_ + 1, stats);
+        MonitoredQuery(level.pri, q, kNegInf, 4 * f_ + 1, stats, tracer);
     if (!r.hit_budget) {
       SelectTopK(&r.elements, f_);
       return std::move(r.elements);
     }
     if (j + 1 >= levels_.size()) return std::nullopt;  // truncated chain
 
-    std::optional<std::vector<Element>> deeper = QueryLevel(j + 1, q, stats);
+    std::optional<std::vector<Element>> deeper =
+        QueryLevel(j + 1, q, stats, tracer);
     if (!deeper.has_value()) return std::nullopt;
     const size_t rank = CoreSetRank(level.n, Problem::kLambda, scale_);
     if (deeper->size() < rank) return std::nullopt;  // unlucky sample
@@ -136,7 +143,7 @@ class TopFChain {
     // Lemma 2: e has weight rank in [f, 4f] within q(R_j) w.h.p.; allow
     // 2x slack before declaring the sample bad.
     MonitoredResult<Element> fetched =
-        MonitoredQuery(level.pri, q, tau, 8 * f_ + 1, stats);
+        MonitoredQuery(level.pri, q, tau, 8 * f_ + 1, stats, tracer);
     if (fetched.hit_budget) return std::nullopt;          // rank too deep
     if (fetched.elements.size() < f_) return std::nullopt;  // rank too high
     SelectTopK(&fetched.elements, f_);

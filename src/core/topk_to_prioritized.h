@@ -20,6 +20,7 @@
 #include "common/stats.h"
 #include "core/problem.h"
 #include "core/weighted.h"
+#include "trace/tracer.h"
 
 namespace topk {
 
@@ -37,16 +38,24 @@ class TopKToPrioritized {
   size_t size() const { return topk_.size(); }
   const TopK& inner() const { return topk_; }
 
+  // Charges nothing itself (issuance is charged by the caller through
+  // IssuePrioritized — see core/sink.h); the inner top-k queries charge
+  // their own structural work through `stats` as usual.
   template <typename Emit>
   void QueryPrioritized(const Predicate& q, double tau, Emit&& emit,
-                        QueryStats* stats = nullptr) const {
+                        QueryStats* stats = nullptr,
+                        trace::Tracer* tracer = nullptr) const {
+    trace::Span span(tracer, "reverse_doubling", stats);
+    uint64_t doublings = 0;
     size_t k = initial_k_;
     while (true) {
-      std::vector<Element> top = topk_.Query(q, k, stats);
+      std::vector<Element> top = InnerQuery(q, k, stats, tracer);
       const bool exhausted = top.size() < k;
       const bool past_tau =
           !top.empty() && !MeetsThreshold(top.back(), tau);
       if (exhausted || past_tau || k >= topk_.size()) {
+        span.Arg("final_k", k);
+        span.Arg("doublings", doublings);
         for (const Element& e : top) {
           if (!MeetsThreshold(e, tau)) break;  // sorted desc
           if (!emit(e)) return;
@@ -54,10 +63,23 @@ class TopKToPrioritized {
         return;
       }
       k *= 2;
+      ++doublings;
     }
   }
 
  private:
+  // The TopKStructure concept only guarantees Query(q, k, stats); pass
+  // the tracer through when the wrapped structure accepts one.
+  std::vector<Element> InnerQuery(const Predicate& q, size_t k,
+                                  QueryStats* stats,
+                                  trace::Tracer* tracer) const {
+    if constexpr (requires { topk_.Query(q, k, stats, tracer); }) {
+      return topk_.Query(q, k, stats, tracer);
+    } else {
+      return topk_.Query(q, k, stats);
+    }
+  }
+
   TopK topk_;
   size_t initial_k_;
 };

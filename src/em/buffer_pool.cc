@@ -29,6 +29,7 @@ uint8_t* BufferPool::Pin(uint64_t page_id, bool mark_dirty) {
     ++frame.pin_count;
     frame.dirty = frame.dirty || mark_dirty;
     ++hits_;
+    trace::Count(tracer_, "em_cache_hit", 1);
     return frame.data.data();
   }
   while (frames_.size() >= capacity_) Evict();
@@ -49,6 +50,9 @@ uint8_t* BufferPool::Pin(uint64_t page_id, bool mark_dirty) {
     frame.poisoned = true;
     io_failed_ = true;
     ++io_failures_;
+    trace::Count(tracer_, "em_read_failed", 1);
+  } else {
+    trace::Count(tracer_, "em_read", 1);
   }
   ++misses_;
   return frame.data.data();
@@ -94,7 +98,10 @@ void BufferPool::Evict() {
   lru_.pop_front();
   auto it = frames_.find(victim);
   TOPK_CHECK(it != frames_.end());
-  if (it->second.dirty) device_->Write(victim, it->second.data.data());
+  if (it->second.dirty) {
+    device_->Write(victim, it->second.data.data());
+    trace::Count(tracer_, "em_write", 1);
+  }
   frames_.erase(it);
 }
 
@@ -131,7 +138,10 @@ void BufferPool::FlushAll() {
     TOPK_CHECK(frame.pin_count == 0);  // a pin outlived FlushAll
   }
   for (auto& [page_id, frame] : frames_) {
-    if (frame.dirty) device_->Write(page_id, frame.data.data());
+    if (frame.dirty) {
+      device_->Write(page_id, frame.data.data());
+      trace::Count(tracer_, "em_write", 1);
+    }
   }
   frames_.clear();
   lru_.clear();

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "em/block_device.h"
+#include "trace/tracer.h"
 
 namespace topk::em {
 
@@ -94,6 +95,14 @@ class BufferPool {
   // Total read failures that surfaced as poisoned frames.
   uint64_t io_failures() const { return io_failures_; }
 
+  // Optional tracer: when set, every Pin/Evict/FlushAll attributes its
+  // I/O to the innermost open span as em_cache_hit / em_read /
+  // em_read_failed / em_write counter args. Null (the default) is the
+  // zero-overhead path. The pool is single-threaded; the tracer must be
+  // owned by the same thread.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() const { return tracer_; }
+
   // Audit hook (src/audit/, -DTOPK_AUDIT=ON test sweeps): pin-ledger
   // consistency — frame count within capacity, pins non-negative, the
   // LRU list holding exactly the unpinned frames with back-pointing
@@ -122,6 +131,7 @@ class BufferPool {
   uint64_t misses_ = 0;
   bool io_failed_ = false;
   uint64_t io_failures_ = 0;
+  trace::Tracer* tracer_ = nullptr;  // not owned; may be null
 };
 
 // RAII pin.

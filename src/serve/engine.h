@@ -41,6 +41,8 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -52,6 +54,8 @@
 #include "serve/result.h"
 #include "serve/shareable.h"
 #include "serve/thread_pool.h"
+#include "trace/chrome_json.h"
+#include "trace/tracer.h"
 
 namespace topk::serve {
 
@@ -81,6 +85,14 @@ class QueryEngine {
     // Admission control: at most this many requests of a batch are
     // served; the rest are shed. 0 = unbounded.
     size_t max_batch = 0;
+    // Tracing: event capacity of each per-thread trace::Tracer (one per
+    // worker plus one for the coordinator). 0 = tracing off — every
+    // call site passes a null tracer, the one-branch disabled path.
+    size_t trace_capacity = 0;
+    // Slow-query log: requests whose serving latency is >= this land in
+    // the MetricsSnapshot slow-query log (bounded, top-by-latency; see
+    // serve/metrics.h). 0 = off.
+    uint64_t slow_query_ns = 0;
   };
 
   // `structure` must outlive the engine. `metrics` may be null (no
@@ -88,11 +100,50 @@ class QueryEngine {
   QueryEngine(const Structure* structure, const Options& options,
               Metrics* metrics = nullptr)
       : structure_(structure), metrics_(metrics), max_batch_(options.max_batch),
-        pool_(options.num_threads) {
+        slow_query_ns_(options.slow_query_ns), pool_(options.num_threads) {
     TOPK_CHECK(structure_ != nullptr);
+    if (options.trace_capacity > 0) {
+      tracers_.reserve(pool_.num_threads() + 1);
+      for (size_t t = 0; t < pool_.num_threads() + 1; ++t) {
+        tracers_.push_back(
+            std::make_unique<trace::Tracer>(options.trace_capacity));
+      }
+    }
   }
 
   size_t num_threads() const { return pool_.num_threads(); }
+
+  // --- tracing (empty/0 unless Options::trace_capacity was set) -------
+
+  bool tracing_enabled() const { return !tracers_.empty(); }
+  // Worker tracers are [0, num_threads); the last one is the
+  // coordinator's (batch/merge spans).
+  size_t num_tracers() const { return tracers_.size(); }
+  const trace::Tracer& tracer(size_t i) const { return *tracers_[i]; }
+
+  // Drops all recorded events (e.g. between a warmup and a measured
+  // run). Must not be called while a batch is in flight.
+  void ClearTraces() {
+    for (const std::unique_ptr<trace::Tracer>& t : tracers_) t->Clear();
+  }
+
+  // All tracers as one Chrome trace-event document (tid = tracer index,
+  // thread names "worker-N" / "coordinator"); loads directly into
+  // Perfetto / chrome://tracing.
+  std::string ChromeTraceJson() const {
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    for (size_t t = 0; t < tracers_.size(); ++t) {
+      const bool coordinator = t + 1 == tracers_.size();
+      const std::string name =
+          coordinator ? std::string("coordinator")
+                      : "worker-" + std::to_string(t);
+      trace::AppendChromeEvents(*tracers_[t], t, name.c_str(), &first,
+                                &out);
+    }
+    out += "]}";
+    return out;
+  }
 
   // Requests cooperative cancellation of the current (or, if none is
   // running, the next) batch: unstarted requests are shed, in-flight
@@ -122,37 +173,76 @@ class QueryEngine {
         max_batch_ == 0 ? requests.size()
                         : (requests.size() < max_batch_ ? requests.size()
                                                         : max_batch_);
+    const uint64_t batch_seq = ++batch_seq_;
+    trace::Tracer* coordinator =
+        tracers_.empty() ? nullptr : tracers_.back().get();
     const auto batch_start = Clock::now();
     std::vector<MetricsSnapshot> tallies(pool_.num_threads());
     std::atomic<size_t> cursor{0};
-    pool_.RunOnAll([&](size_t worker) {
-      MetricsSnapshot& tally = tallies[worker];
-      for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-           i < requests.size();
-           i = cursor.fetch_add(1, std::memory_order_relaxed)) {
-        Result& slot = results[i];
-        // Admission control and between-request cancellation: shed
-        // slots must not touch the structure at all.
-        if (i >= admitted || cancel_requested()) {
-          slot.status = ResultStatus::kShed;
+    {
+      trace::Span batch_span(coordinator, "batch");
+      batch_span.Arg("batch", batch_seq);
+      batch_span.Arg("requests", requests.size());
+      batch_span.Arg("admitted", admitted);
+      pool_.RunOnAll([&](size_t worker) {
+        MetricsSnapshot& tally = tallies[worker];
+        // Each worker owns its tracer exclusively for the whole batch;
+        // RunOnAll's barrier publishes the events to the coordinator.
+        trace::Tracer* tracer =
+            tracers_.empty() ? nullptr : tracers_[worker].get();
+        for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+             i < requests.size();
+             i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+          Result& slot = results[i];
+          // Admission control and between-request cancellation: shed
+          // slots must not touch the structure at all.
+          if (i >= admitted || cancel_requested()) {
+            slot.status = ResultStatus::kShed;
+            tally.CountStatus(slot.status);
+            continue;
+          }
+          const auto start = Clock::now();
+          const uint64_t work_before = tally.stats.work();
+          {
+            // Root span of the request: queue wait is the argument,
+            // execution is the "exec" child, results_returned lands in
+            // the self counts (charged before the span closes).
+            trace::Span request_span(tracer, "request", &tally.stats);
+            request_span.Arg("slot", i);
+            request_span.Arg("k", requests[i].k);
+            request_span.Arg(
+                "queue_wait_ns",
+                static_cast<uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        start - batch_start)
+                        .count()));
+            ServeOne(requests[i], batch_start, &slot, &tally.stats,
+                     tracer);
+            tally.stats.results_returned += slot.elements.size();
+            request_span.Arg("status",
+                             static_cast<uint64_t>(slot.status));
+          }
+          const auto stop = Clock::now();
+          const uint64_t latency_ns = static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(stop -
+                                                                   start)
+                  .count());
+          tally.latency.Record(latency_ns);
+          ++tally.queries;
           tally.CountStatus(slot.status);
-          continue;
+          if (slow_query_ns_ > 0 && latency_ns >= slow_query_ns_) {
+            tally.RecordSlow(SlowQuery{latency_ns, batch_seq, i,
+                                       tally.stats.work() - work_before,
+                                       slot.status});
+          }
         }
-        const auto start = Clock::now();
-        ServeOne(requests[i], batch_start, &slot, &tally.stats);
-        const auto stop = Clock::now();
-        tally.stats.results_returned += slot.elements.size();
-        tally.latency.Record(static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(stop -
-                                                                 start)
-                .count()));
-        ++tally.queries;
-        tally.CountStatus(slot.status);
-      }
-    });
+      });
+    }
     cancel_.store(false, std::memory_order_relaxed);
 
     if (metrics_ != nullptr) {
+      trace::Span merge_span(coordinator, "merge");
+      merge_span.Arg("batch", batch_seq);
       MetricsSnapshot batch;
       batch.batches = 1;
       for (const MetricsSnapshot& t : tallies) batch.Merge(t);
@@ -165,7 +255,9 @@ class QueryEngine {
   using Clock = std::chrono::steady_clock;
 
   void ServeOne(const Request& r, Clock::time_point batch_start,
-                Result* slot, QueryStats* stats) const {
+                Result* slot, QueryStats* stats,
+                trace::Tracer* tracer) const {
+    trace::Span span(tracer, "exec", stats);
     const bool has_deadline = r.deadline_ns > 0;
     const auto deadline =
         batch_start + std::chrono::nanoseconds(r.deadline_ns);
@@ -175,7 +267,7 @@ class QueryEngine {
       return;
     }
     if (r.cost_budget == 0 && !has_deadline) {
-      slot->elements = structure_->Query(r.predicate, r.k, stats);
+      slot->elements = StructureQuery(r.predicate, r.k, stats, tracer);
       slot->status = ResultStatus::kOk;
       return;
     }
@@ -200,16 +292,34 @@ class QueryEngine {
       }
       return false;
     };
-    BudgetedResult<Element> b =
-        BudgetedTopK(*structure_, r.predicate, r.k, should_stop, stats);
+    BudgetedResult<Element> b = BudgetedTopK(*structure_, r.predicate,
+                                             r.k, should_stop, stats,
+                                             tracer);
     slot->elements = std::move(b.elements);
     slot->status = b.complete ? ResultStatus::kOk : stop_reason;
+  }
+
+  // The ShareableTopKStructure concept only guarantees Query(q, k,
+  // stats); pass the tracer through when the structure accepts one.
+  std::vector<Element> StructureQuery(const Predicate& q, size_t k,
+                                      QueryStats* stats,
+                                      trace::Tracer* tracer) const {
+    if constexpr (requires { structure_->Query(q, k, stats, tracer); }) {
+      return structure_->Query(q, k, stats, tracer);
+    } else {
+      return structure_->Query(q, k, stats);
+    }
   }
 
   const Structure* structure_;
   Metrics* metrics_;
   size_t max_batch_;
+  uint64_t slow_query_ns_;
   std::atomic<bool> cancel_{false};
+  uint64_t batch_seq_ = 0;
+  // One tracer per worker plus the coordinator's (last); empty when
+  // tracing is off. unique_ptr: Tracer is non-movable.
+  std::vector<std::unique_ptr<trace::Tracer>> tracers_;
   ThreadPool pool_;
 };
 

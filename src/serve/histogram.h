@@ -1,6 +1,7 @@
 // Log-bucketed latency histogram for the serving layer.
 //
-// Fixed-size (64 power-of-two buckets over nanoseconds, ~0.5 KiB), so
+// Fixed-size (65 power-of-two buckets over nanoseconds — one per
+// possible bit_width of a uint64_t value, including 0 — ~0.5 KiB), so
 // Record is a constant-time array increment with no allocation — cheap
 // enough to sit on the per-query hot path. Quantiles are answered by
 // walking the cumulative counts and interpolating linearly inside the
@@ -72,17 +73,27 @@ class LatencyHistogram {
         seen += counts_[i];
         continue;
       }
-      // Rank lands in bucket i: interpolate across [lo, hi), clamped to
-      // the exactly tracked extremes.
+      // Rank lands in bucket i: interpolate across [lo, hi).
       const double lo = i == 0 ? 0.0 : static_cast<double>(uint64_t{1} << (i - 1));
       const double hi = i == 0 ? 1.0 : lo * 2.0;
       // rank - seen is in [1, counts_[i]]; the first rank sits on the
-      // bucket's lower edge (the min/max clamp handles sparse buckets).
+      // bucket's lower edge.
       const double frac = static_cast<double>(rank - seen - 1) /
                           static_cast<double>(counts_[i]);
       double v = lo + (hi - lo) * frac;
-      if (v < static_cast<double>(min_ns_)) v = static_cast<double>(min_ns_);
-      if (v > static_cast<double>(max_ns_)) v = static_cast<double>(max_ns_);
+      // The exactly tracked extremes tighten the estimate — but only in
+      // the buckets that actually contain them. Clamping in every bucket
+      // (the old behavior) pulled interior-bucket estimates toward the
+      // global min/max, where the true values can be anywhere in the
+      // bucket's range.
+      if (i == static_cast<size_t>(std::bit_width(min_ns_)) &&
+          v < static_cast<double>(min_ns_)) {
+        v = static_cast<double>(min_ns_);
+      }
+      if (i == static_cast<size_t>(std::bit_width(max_ns_)) &&
+          v > static_cast<double>(max_ns_)) {
+        v = static_cast<double>(max_ns_);
+      }
       return v;
     }
     return static_cast<double>(max_ns_);  // unreachable: total_ > 0

@@ -1,0 +1,90 @@
+// Chrome trace-event JSON export (the "trace event format" consumed by
+// chrome://tracing and Perfetto's legacy importer).
+//
+// Spans become "X" (complete) events with microsecond ts/dur and their
+// arguments under "args"; instants become "i" events. Each tracer maps
+// to one tid under pid 0, with an optional thread_name metadata record,
+// so an engine's per-worker tracers render as parallel tracks. Nesting
+// is inferred by the viewer from timestamp containment — parent ids are
+// not exported (tests inspect Tracer::events() directly for those).
+//
+// Event and argument names are stored as raw string literals and are
+// emitted unescaped: keep them to identifier-like characters (no
+// quotes, backslashes, or control characters).
+
+#ifndef TOPK_TRACE_CHROME_JSON_H_
+#define TOPK_TRACE_CHROME_JSON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/format.h"
+#include "trace/tracer.h"
+
+namespace topk::trace {
+
+// Appends one tracer's events (plus a thread_name metadata record when
+// `thread_name` is non-null) as comma-separated JSON objects. `*first`
+// tracks whether a comma is owed; share it across calls that fill one
+// traceEvents array.
+inline void AppendChromeEvents(const Tracer& tracer, uint64_t tid,
+                               const char* thread_name, bool* first,
+                               std::string* out) {
+  auto comma = [first, out] {
+    if (!*first) out->push_back(',');
+    *first = false;
+  };
+  if (thread_name != nullptr) {
+    comma();
+    AppendF(out,
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+            "\"tid\":%llu,\"args\":{\"name\":\"%s\"}}",
+            static_cast<unsigned long long>(tid), thread_name);
+  }
+  for (const Tracer::Event& e : tracer.events()) {
+    comma();
+    const double ts_us = static_cast<double>(e.start_ns) / 1000.0;
+    if (e.kind == Tracer::EventKind::kSpan) {
+      const double dur_us = static_cast<double>(e.dur_ns) / 1000.0;
+      AppendF(out,
+              "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%llu,"
+              "\"ts\":%.3f,\"dur\":%.3f",
+              e.name, static_cast<unsigned long long>(tid), ts_us, dur_us);
+    } else {
+      AppendF(out,
+              "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,"
+              "\"tid\":%llu,\"ts\":%.3f",
+              e.name, static_cast<unsigned long long>(tid), ts_us);
+    }
+    if (e.num_args > 0) {
+      out->append(",\"args\":{");
+      for (size_t a = 0; a < e.num_args; ++a) {
+        AppendF(out, "%s\"%s\":%llu", a == 0 ? "" : ",", e.arg_names[a],
+                static_cast<unsigned long long>(e.arg_values[a]));
+      }
+      out->push_back('}');
+    }
+    out->push_back('}');
+  }
+}
+
+// One self-contained trace document from any number of tracers (null
+// entries are skipped); tid = index. The result loads directly into
+// Perfetto / chrome://tracing.
+inline std::string ChromeTraceJson(
+    const std::vector<const Tracer*>& tracers) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (size_t t = 0; t < tracers.size(); ++t) {
+    if (tracers[t] == nullptr) continue;
+    AppendChromeEvents(*tracers[t], t, nullptr, &first, &out);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace topk::trace
+
+#endif  // TOPK_TRACE_CHROME_JSON_H_

@@ -3,8 +3,12 @@
 // engine — whose results must be exactly the single-threaded,
 // brute-force-validated answers at every thread count.
 
+#include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -25,9 +29,11 @@
 #include "serve/engine.h"
 #include "serve/histogram.h"
 #include "serve/metrics.h"
+#include "serve/result.h"
 #include "serve/shareable.h"
 #include "serve/thread_pool.h"
 #include "test_util.h"
+#include "trace/tracer.h"
 
 namespace topk {
 namespace {
@@ -299,6 +305,200 @@ TEST(QueryEngine, EmptyStructure) {
   ASSERT_EQ(results.size(), 2u);
   EXPECT_TRUE(results[0].elements.empty());
   EXPECT_TRUE(results[1].elements.empty());
+}
+
+// --- LatencyHistogram vs exact percentiles -------------------------------
+
+// Property sweep: the log-bucketed estimate must land inside the bucket
+// of the EXACT nearest-rank percentile (the rank walk visits the same
+// bucket), and inside the exactly tracked [min, max] envelope.
+TEST(LatencyHistogram, EstimateStaysInsideTheExactValuesBucket) {
+  Rng rng(21);
+  for (int trial = 0; trial < 25; ++trial) {
+    LatencyHistogram h;
+    std::vector<uint64_t> values;
+    const size_t n = 1 + rng.Below(400);
+    for (size_t i = 0; i < n; ++i) {
+      // Log-uniform spread so many buckets (and sparse ones) occur.
+      const uint64_t v = rng.Below(uint64_t{1} << (1 + rng.Below(24)));
+      values.push_back(v);
+      h.Record(v);
+    }
+    std::sort(values.begin(), values.end());
+    for (double p :
+         {0.0, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+      // Same nearest-rank convention as PercentileNs.
+      uint64_t rank = static_cast<uint64_t>(
+          p / 100.0 * static_cast<double>(n) + 0.5);
+      if (rank < 1) rank = 1;
+      if (rank > n) rank = n;
+      const uint64_t exact = values[rank - 1];
+      const double got = h.PercentileNs(p);
+      const uint64_t bw = std::bit_width(exact);
+      const double lo =
+          bw == 0 ? 0.0 : static_cast<double>(uint64_t{1} << (bw - 1));
+      const double hi = bw == 0 ? 1.0 : lo * 2.0;
+      EXPECT_GE(got, lo) << "p" << p << " exact " << exact;
+      EXPECT_LE(got, hi) << "p" << p << " exact " << exact;
+      EXPECT_GE(got, static_cast<double>(values.front()));
+      EXPECT_LE(got, static_cast<double>(values.back()));
+    }
+  }
+}
+
+// --- Slow-query log ------------------------------------------------------
+
+TEST(MetricsSlowQueries, KeepsTopByLatencySortedDescending) {
+  MetricsSnapshot s;
+  for (uint64_t l : {50u, 10u, 90u, 30u, 70u, 20u, 80u, 40u, 60u, 100u,
+                     5u, 95u}) {
+    s.RecordSlow({l, 1, l, 0, serve::ResultStatus::kOk});
+  }
+  ASSERT_EQ(s.slow_queries.size(), MetricsSnapshot::kMaxSlowQueries);
+  EXPECT_EQ(s.slow_queries.front().latency_ns, 100u);
+  for (size_t i = 1; i < s.slow_queries.size(); ++i) {
+    EXPECT_GE(s.slow_queries[i - 1].latency_ns,
+              s.slow_queries[i].latency_ns);
+  }
+  EXPECT_EQ(s.slow_queries.back().latency_ns, 40u);  // 5..30 fell out
+}
+
+TEST(MetricsSlowQueries, MergeCombinesAndRebounds) {
+  MetricsSnapshot a, b;
+  for (uint64_t l = 1; l <= 8; ++l) {
+    a.RecordSlow({l * 10, 1, l, 0, serve::ResultStatus::kOk});
+    b.RecordSlow({l * 10 + 5, 2, l, 0, serve::ResultStatus::kDegraded});
+  }
+  a.Merge(b);
+  ASSERT_EQ(a.slow_queries.size(), MetricsSnapshot::kMaxSlowQueries);
+  // Interleaved top-8 of both logs: 85, 80, 75, 70, ...
+  EXPECT_EQ(a.slow_queries.front().latency_ns, 85u);
+  EXPECT_EQ(a.slow_queries.back().latency_ns, 50u);
+}
+
+TEST(MetricsSlowQueries, RenderedInJsonOnlyWhenPresent) {
+  MetricsSnapshot s;
+  EXPECT_EQ(serve::ToJson(s).find("slow_queries"), std::string::npos);
+  s.RecordSlow({1234, 7, 3, 42, serve::ResultStatus::kDeadlineExceeded});
+  const std::string json = serve::ToJson(s);
+  EXPECT_NE(json.find("\"slow_queries\":[{\"latency_ns\":1234,\"batch\":7,"
+                      "\"slot\":3,\"work\":42,"
+                      "\"status\":\"deadline_exceeded\"}]"),
+            std::string::npos);
+}
+
+// --- JSON export under saturated counters --------------------------------
+
+// Regression: the old renderer snprintf-ed into a fixed 256-byte buffer;
+// counters near UINT64_MAX (and the huge doubles they imply) truncated
+// the output into malformed JSON. Every value must now render in full.
+TEST(Metrics, ToJsonSurvivesSaturatedCounters) {
+  constexpr uint64_t kSat = std::numeric_limits<uint64_t>::max();
+  MetricsSnapshot s;
+  s.queries = kSat;
+  s.batches = kSat;
+  s.ok = kSat;
+  s.degraded = kSat;
+  s.shed = kSat;
+  s.deadline_exceeded = kSat;
+  QueryStats::ForEachField(
+      [&s](const char*, auto member) { s.stats.*member = kSat; });
+  for (int i = 0; i < 4; ++i) s.latency.Record(kSat);
+  for (uint64_t i = 0; i < MetricsSnapshot::kMaxSlowQueries; ++i) {
+    s.RecordSlow({kSat - i, kSat, kSat, kSat,
+                  serve::ResultStatus::kDeadlineExceeded});
+  }
+  const std::string json = serve::ToJson(s);
+  // Every saturated counter appears verbatim — no truncation anywhere.
+  EXPECT_NE(json.find("\"queries\":18446744073709551615"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"max\":18446744073709551615"), std::string::npos);
+  // Structurally balanced and terminated (json.loads-level validation
+  // runs in the trace_roundtrip ctest).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(json.find('\0'), std::string::npos);
+}
+
+// --- Engine tracing ------------------------------------------------------
+
+uint64_t SpanArgOr0(const trace::Tracer::Event& e, const char* name) {
+  for (size_t i = 0; i < e.num_args; ++i) {
+    if (std::strcmp(e.arg_names[i], name) == 0) return e.arg_values[i];
+  }
+  return 0;
+}
+
+// End-to-end attribution: with tracing on, the per-span self counts
+// summed across every tracer reproduce the merged QueryStats exactly,
+// and the slow-query log fills (threshold 1 ns). Runs under TSan in CI
+// (tsan job runs ctest -R serve): per-worker tracers must not race.
+TEST(QueryEngine, TracingAttributesEveryCounter) {
+  ServeFixture fx(3000, 48, 15);
+  Thm1 thm1(fx.data);
+  serve::Metrics metrics;
+  serve::QueryEngine<Thm1> engine(&thm1,
+                                  {.num_threads = 3,
+                                   .trace_capacity = 1 << 14,
+                                   .slow_query_ns = 1},
+                                  &metrics);
+  auto results = engine.QueryBatch(fx.requests);
+  ASSERT_EQ(results.size(), fx.requests.size());
+  for (size_t i = 0; i < fx.requests.size(); ++i) {
+    auto want = test::BruteTopK<Range1DProblem>(
+        fx.data, fx.requests[i].predicate, fx.requests[i].k);
+    EXPECT_EQ(test::IdsOf(results[i].elements), test::IdsOf(want));
+  }
+
+  ASSERT_TRUE(engine.tracing_enabled());
+  ASSERT_EQ(engine.num_tracers(), engine.num_threads() + 1);
+  QueryStats sum;
+  size_t request_spans = 0;
+  for (size_t t = 0; t < engine.num_tracers(); ++t) {
+    const trace::Tracer& tracer = engine.tracer(t);
+    EXPECT_EQ(tracer.dropped(), 0u);
+    EXPECT_EQ(tracer.open_depth(), 0u);
+    for (const trace::Tracer::Event& e : tracer.events()) {
+      if (e.kind != trace::Tracer::EventKind::kSpan) continue;
+      if (std::strcmp(e.name, "request") == 0) ++request_spans;
+      QueryStats::ForEachField([&sum, &e](const char* name, auto member) {
+        sum.*member += SpanArgOr0(e, name);
+      });
+    }
+  }
+  EXPECT_EQ(request_spans, fx.requests.size());
+  const MetricsSnapshot m = metrics.Snapshot();
+  QueryStats::ForEachField([&m, &sum](const char* name, auto member) {
+    EXPECT_EQ(m.stats.*member, sum.*member) << "field " << name;
+  });
+
+  // Threshold 1 ns: every request is "slow", so the log is full and
+  // descending.
+  ASSERT_EQ(m.slow_queries.size(), MetricsSnapshot::kMaxSlowQueries);
+  for (size_t i = 1; i < m.slow_queries.size(); ++i) {
+    EXPECT_GE(m.slow_queries[i - 1].latency_ns,
+              m.slow_queries[i].latency_ns);
+  }
+
+  const std::string json = engine.ChromeTraceJson();
+  EXPECT_NE(json.find("\"name\":\"request\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"batch\""), std::string::npos);
+  EXPECT_NE(json.find("worker-0"), std::string::npos);
+  EXPECT_NE(json.find("coordinator"), std::string::npos);
+
+  // ClearTraces drops events but keeps tracing armed.
+  engine.ClearTraces();
+  for (size_t t = 0; t < engine.num_tracers(); ++t) {
+    EXPECT_TRUE(engine.tracer(t).events().empty());
+  }
+
+  // Options::trace_capacity == 0 (the default): no tracers at all.
+  serve::QueryEngine<Thm1> off(&thm1, {.num_threads = 2});
+  EXPECT_FALSE(off.tracing_enabled());
+  EXPECT_EQ(off.num_tracers(), 0u);
 }
 
 }  // namespace

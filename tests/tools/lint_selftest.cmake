@@ -1,14 +1,17 @@
-# Self-test for tools/lint.py's sleep rule via `cmake -P` (so the
-# default ctest sweep covers the rule without a pytest dependency).
+# Self-test for tools/lint.py's sleep and tracer rules via `cmake -P`
+# (so the default ctest sweep covers the rules without a pytest
+# dependency).
 #
 # Invoked from tests/CMakeLists.txt as:
 #   cmake -DPYTHON=... -DSCRIPT=... -DFIXTURE=... -P lint_selftest.cmake
 #
-# The fixture holds one bare sleep_for (must be flagged), one suppressed
-# via `// lint: sleep-ok` (must not be), and one under a fault/
-# directory (sanctioned home, must not be). Exactly one finding total —
-# a second finding means a suppression or sanction regressed; zero
-# means the rule stopped firing.
+# The fixture holds, for the sleep rule: one bare sleep_for (must be
+# flagged), one suppressed via `// lint: sleep-ok` (must not be), and
+# one under a fault/ directory (sanctioned home, must not be); for the
+# tracer rule: one bare `tracer->` dereference (must be flagged) and
+# one suppressed via `// lint: tracer-ok` (must not be). Exactly two
+# findings total — a third means a suppression or sanction regressed;
+# fewer means a rule stopped firing.
 
 foreach(var PYTHON SCRIPT FIXTURE)
   if(NOT DEFINED ${var})
@@ -23,17 +26,21 @@ execute_process(
   ERROR_VARIABLE err)
 
 if(rc EQUAL 0)
-  message(FATAL_ERROR "expected the bare sleep_for to be flagged; lint "
-                      "exited clean\nstdout: ${out}")
+  message(FATAL_ERROR "expected the bare sleep_for and tracer-> to be "
+                      "flagged; lint exited clean\nstdout: ${out}")
 endif()
 if(NOT out MATCHES "sleepy\\.h:13: \\[sleep\\]")
   message(FATAL_ERROR "missing the expected [sleep] finding at "
                       "sleepy.h:13\nstdout: ${out}\nstderr: ${err}")
 endif()
-if(NOT err MATCHES "1 finding")
-  message(FATAL_ERROR "expected exactly 1 finding (suppression or the "
-                      "fault/ sanction regressed)\nstdout: ${out}\n"
+if(NOT out MATCHES "tracy\\.h:12: \\[tracer\\]")
+  message(FATAL_ERROR "missing the expected [tracer] finding at "
+                      "tracy.h:12\nstdout: ${out}\nstderr: ${err}")
+endif()
+if(NOT err MATCHES "2 finding")
+  message(FATAL_ERROR "expected exactly 2 findings (a suppression or "
+                      "sanction regressed)\nstdout: ${out}\n"
                       "stderr: ${err}")
 endif()
 
-message(STATUS "lint.py: sleep-rule self-test passed")
+message(STATUS "lint.py: sleep/tracer rule self-test passed")

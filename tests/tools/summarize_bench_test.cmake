@@ -38,6 +38,8 @@ expect_run(zero "p50=0.8us"      ${FIXTURES}/good_bench_output.txt)
 expect_run(zero "max=2.2us"      ${FIXTURES}/good_bench_output.txt)
 expect_run(zero "deadline_exceeded=2 degraded=6" ${FIXTURES}/good_bench_output.txt)
 expect_run(zero "BM_Thm1CoreSet" ${FIXTURES}/good_bench_output.txt)
+expect_run(zero "slow: 2.2us batch=1 slot=17 work=4096 status=deadline_exceeded" ${FIXTURES}/good_bench_output.txt)
+expect_run(zero "off ns/q" ${FIXTURES}/good_bench_output.txt)
 expect_run(nonzero "malformed metrics JSON" ${FIXTURES}/bad_json_bench_output.txt)
 expect_run(nonzero "missing expected key"   ${FIXTURES}/missing_key_bench_output.txt)
 expect_run(nonzero "cannot read"            ${FIXTURES}/no_such_file.txt)

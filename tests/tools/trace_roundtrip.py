@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Roundtrip validation of the trace/metrics JSON exports.
+
+Runs tests' trace_export_main binary (argv[1]) and asserts:
+
+  * every emitted document is valid JSON (json.loads — a real parser,
+    not substring checks);
+  * the Chrome trace is trace-event-format shaped: a traceEvents list
+    of "X"/"i"/"M" events with numeric ts/dur;
+  * the cost-attribution contract: for every QueryStats field exported
+    in the metrics "stats" object, the sum of that field's value over
+    all span args in the Chrome trace equals the metrics total EXACTLY
+    (span self counts telescope — see src/trace/tracer.h);
+  * the slow-query log is bounded, sorted by descending latency, and
+    carries valid status strings;
+  * the saturated-counter snapshot parses and preserves UINT64_MAX
+    verbatim (the truncation regression).
+"""
+
+import json
+import subprocess
+import sys
+
+
+def fail(msg):
+    print(f"trace_roundtrip: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: trace_roundtrip.py <trace_export_main binary>")
+    proc = subprocess.run(
+        [sys.argv[1]], capture_output=True, text=True, timeout=300
+    )
+    if proc.returncode != 0:
+        fail(f"exporter exited {proc.returncode}: {proc.stderr[:500]}")
+
+    docs = {}
+    for line in proc.stdout.splitlines():
+        if not line.strip():
+            continue
+        label, _, payload = line.partition(" ")
+        try:
+            docs[label] = json.loads(payload)
+        except json.JSONDecodeError as e:
+            fail(f"{label} is not valid JSON: {e}\n{payload[:300]}")
+    for want in ("metrics_json", "chrome_trace", "saturated_json"):
+        if want not in docs:
+            fail(f"missing output line: {want}")
+
+    metrics = docs["metrics_json"]
+    trace = docs["chrome_trace"]
+    events = trace["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    spans = 0
+    sums = {}
+    for e in events:
+        ph = e.get("ph")
+        if ph not in ("X", "i", "M"):
+            fail(f"unexpected event phase {ph!r}")
+        if ph == "M":
+            continue
+        if not isinstance(e.get("ts"), (int, float)):
+            fail(f"event without numeric ts: {e}")
+        if ph == "X":
+            spans += 1
+            if not isinstance(e.get("dur"), (int, float)):
+                fail(f"span without numeric dur: {e}")
+            for name, value in e.get("args", {}).items():
+                sums[name] = sums.get(name, 0) + value
+    if spans == 0:
+        fail("no span events in the trace")
+
+    stats = metrics["stats"]
+    if not stats:
+        fail("metrics stats object is empty")
+    for field, total in stats.items():
+        got = sums.get(field, 0)
+        if got != total:
+            fail(
+                f"attribution mismatch for {field}: spans sum to {got}, "
+                f"metrics report {total}"
+            )
+
+    slow = metrics.get("slow_queries", [])
+    if not slow:
+        fail("slow_queries missing (threshold was 1 ns; all are slow)")
+    if len(slow) > 8:
+        fail(f"slow_queries holds {len(slow)} entries, bound is 8")
+    latencies = [q["latency_ns"] for q in slow]
+    if latencies != sorted(latencies, reverse=True):
+        fail(f"slow_queries not sorted by descending latency: {latencies}")
+    valid_status = {"ok", "degraded", "shed", "deadline_exceeded"}
+    for q in slow:
+        if q["status"] not in valid_status:
+            fail(f"invalid slow-query status {q['status']!r}")
+
+    sat = docs["saturated_json"]
+    umax = 2**64 - 1
+    if sat["queries"] != umax:
+        fail(f"saturated queries counter mangled: {sat['queries']}")
+    if sat["latency_ns"]["max"] != umax:
+        fail(f"saturated latency max mangled: {sat['latency_ns']['max']}")
+    if any(q["latency_ns"] != umax - i for i, q in
+           enumerate(sat["slow_queries"])):
+        fail("saturated slow_queries mangled")
+
+    print(
+        f"trace_roundtrip: OK ({spans} spans, "
+        f"{len(stats)} stats fields matched exactly, "
+        f"{len(slow)} slow queries)"
+    )
+
+
+if __name__ == "__main__":
+    main()

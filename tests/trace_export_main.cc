@@ -1,0 +1,104 @@
+// Emits a live engine's metrics JSON and Chrome trace JSON for
+// tests/tools/trace_roundtrip.py, which re-parses both with a real JSON
+// parser and asserts the cost-attribution contract end to end: per-span
+// self counts summed over every tracer equal the merged QueryStats
+// totals field by field. Also emits a synthetic saturated-counter
+// snapshot so the renderer's no-truncation guarantee is validated by
+// json.loads, not just by substring checks.
+//
+// Output (one JSON document per line, prefixed by a label):
+//   metrics_json {...}
+//   chrome_trace {...}
+//   saturated_json {...}
+
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/core_set_topk.h"
+#include "range1d/point1d.h"
+#include "range1d/pst.h"
+#include "serve/engine.h"
+#include "serve/metrics.h"
+#include "serve/result.h"
+
+namespace topk {
+namespace {
+
+using range1d::Point1D;
+using range1d::PrioritySearchTree;
+using range1d::Range1D;
+using range1d::Range1DProblem;
+
+std::vector<Point1D> MakeData(size_t n, Rng* rng) {
+  std::vector<Point1D> pts(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts[i].x = rng->NextDouble();
+    pts[i].weight = rng->NextDouble() * 1000.0;
+    pts[i].id = i + 1;
+  }
+  return pts;
+}
+
+int Run() {
+  Rng rng(42);
+  CoreSetTopK<Range1DProblem, PrioritySearchTree> structure(
+      MakeData(8192, &rng));
+
+  serve::Metrics metrics;
+  serve::QueryEngine<CoreSetTopK<Range1DProblem, PrioritySearchTree>>
+      engine(&structure,
+             {.num_threads = 2,
+              .trace_capacity = size_t{1} << 16,
+              .slow_query_ns = 1},
+             &metrics);
+
+  std::vector<serve::Request<Range1D>> requests;
+  for (size_t i = 0; i < 64; ++i) {
+    double lo = rng.NextDouble(), hi = rng.NextDouble();
+    if (lo > hi) std::swap(lo, hi);
+    serve::Request<Range1D> r{{lo, hi}, 1 + i % 32};
+    // A few requests exercise the budgeted (staged-doubling) path so
+    // its spans participate in the roundtrip too.
+    if (i % 8 == 0) r.cost_budget = 1 << 20;  // generous: completes
+    requests.push_back(r);
+  }
+  const auto results = engine.QueryBatch(requests);
+  TOPK_CHECK_EQ(results.size(), requests.size());
+  for (size_t t = 0; t < engine.num_tracers(); ++t) {
+    TOPK_CHECK_EQ(engine.tracer(t).dropped(), 0u);
+  }
+
+  std::printf("metrics_json %s\n", metrics.ToJson().c_str());
+  std::printf("chrome_trace %s\n", engine.ChromeTraceJson().c_str());
+
+  // Saturated counters: the renderer must produce parseable JSON even
+  // at the extremes the old fixed-size buffer truncated.
+  constexpr uint64_t kSat = std::numeric_limits<uint64_t>::max();
+  serve::MetricsSnapshot sat;
+  sat.queries = kSat;
+  sat.batches = kSat;
+  sat.ok = kSat;
+  sat.degraded = kSat;
+  sat.shed = kSat;
+  sat.deadline_exceeded = kSat;
+  QueryStats::ForEachField(
+      [&sat](const char*, auto member) { sat.stats.*member = kSat; });
+  for (int i = 0; i < 4; ++i) sat.latency.Record(kSat);
+  for (uint64_t i = 0; i < serve::MetricsSnapshot::kMaxSlowQueries; ++i) {
+    sat.RecordSlow({kSat - i, kSat, kSat, kSat,
+                    serve::ResultStatus::kDeadlineExceeded});
+  }
+  std::printf("saturated_json %s\n", serve::ToJson(sat).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace topk
+
+int main() { return topk::Run(); }

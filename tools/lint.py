@@ -29,6 +29,15 @@ Checks (see CLAUDE.md conventions):
                either hides a missing synchronization primitive or
                wrecks benchmark determinism. Suppress a justified use
                with `// lint: sleep-ok <reason>`.
+  tracer       a raw `trace::Tracer*` is null whenever tracing is
+               disabled (the production default), so dereferencing one
+               with `->` outside src/trace/ bypasses the null-safe
+               entry points (trace::Span, trace::Count, trace::Instant)
+               and crashes the untraced path. The rule flags any
+               identifier containing "tracer" followed by `->`; code
+               that has genuinely established non-null (e.g. behind the
+               engine's tracing_enabled() gate) suppresses with
+               `// lint: tracer-ok <reason>`.
 
 A finding prints `path:line: [rule] message`; exit status is the number
 of findings (0 = clean). Suppress any rule on one line with
@@ -39,7 +48,8 @@ import re
 import sys
 from pathlib import Path
 
-RULES = ("guard", "namespace", "assert", "random", "mutable", "sleep")
+RULES = ("guard", "namespace", "assert", "random", "mutable", "sleep",
+         "tracer")
 
 RANDOM_RE = re.compile(
     r"(?<![\w:])(rand|srand)\s*\(|std::mt19937|std::random_device"
@@ -48,6 +58,7 @@ ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
 MUTABLE_RE = re.compile(r"^\s*mutable\s+(.*)$")
 THREAD_SAFE_TYPES_RE = re.compile(r"std::(mutex|shared_mutex|atomic)")
 SLEEP_RE = re.compile(r"\bsleep_(for|until)\s*\(")
+TRACER_DEREF_RE = re.compile(r"\b\w*[Tt]racer\w*\s*->")
 
 
 def sleep_sanctioned(path: Path) -> bool:
@@ -126,6 +137,12 @@ def check_file(path: Path, root: Path, findings: list) -> None:
                                "and serve/thread_pool.h; a sleep hides a "
                                "missing sync primitive or wrecks benchmark "
                                "determinism")
+        if "trace" not in path.parts and TRACER_DEREF_RE.search(code):
+            report(i, "tracer",
+                   "raw Tracer* dereference outside src/trace/; a tracer "
+                   "pointer is null when tracing is off — go through the "
+                   "null-safe trace::Span / trace::Count / trace::Instant "
+                   "or annotate `// lint: tracer-ok <reason>`")
         m = MUTABLE_RE.match(code)
         if m and is_header:
             decl = m.group(1)

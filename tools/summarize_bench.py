@@ -58,7 +58,21 @@ def render_serve_metrics(line: str, lineno: int) -> str:
     if degraded:
         row += " ".join(f"{k}={v}" for k, v in sorted(degraded.items())) + " "
     interesting = {k: v for k, v in stats.items() if v}
-    return row + " ".join(f"{k}={v}" for k, v in sorted(interesting.items()))
+    row += " ".join(f"{k}={v}" for k, v in sorted(interesting.items()))
+    # Slow-query log (bounded, descending latency); absent when no query
+    # crossed the engine's slow_query_ns threshold.
+    for q in m.get("slow_queries", []):
+        try:
+            row += (
+                f"\n  {'':<32} slow: {q['latency_ns'] / 1e3:.1f}us "
+                f"batch={q['batch']} slot={q['slot']} work={q['work']} "
+                f"status={q['status']}"
+            )
+        except (KeyError, TypeError) as e:
+            raise MetricsError(
+                f"line {lineno}: slow_queries entry missing key {e}: "
+                f"{line!r}") from e
+    return row
 
 
 def main() -> int:
@@ -82,7 +96,7 @@ def main() -> int:
             passthrough = section in {
                 "bench_space", "bench_lemmas", "bench_em", "bench_rounds",
                 "bench_ablation", "bench_build", "bench_selectivity",
-                "bench_serve", "bench_chaos",
+                "bench_serve", "bench_chaos", "bench_trace",
             }
             print(f"\n## {section}")
             continue
