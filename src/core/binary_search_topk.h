@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/kselect.h"
+#include "common/scratch.h"
 #include "common/stats.h"
 #include "core/problem.h"
 #include "core/sink.h"
@@ -31,7 +32,11 @@
 namespace topk {
 
 // Answers a top-k query against an existing prioritized structure `pri`
-// using `weights_desc`, the weights of all n elements sorted descending.
+// using `weights_desc`, the weights of all n elements sorted descending,
+// writing the answer into *out (cleared first). Every candidate pool —
+// the O(log n) probes and the final fetch — lives in a buffer borrowed
+// from `scratch`, so a warm arena serves the whole query without
+// allocating.
 //
 // Invariant used: count(tau) = |{e in q(D) : w(e) >= tau}| grows by at
 // most one per step down `weights_desc` (weights are pairwise distinct up
@@ -40,25 +45,28 @@ namespace topk {
 // answer.
 template <typename Pri, typename Predicate,
           typename Element = typename Pri::Element>
-std::vector<Element> BinarySearchTopKQuery(
+void BinarySearchTopKQueryInto(
     const Pri& pri, const std::vector<double>& weights_desc,
-    const Predicate& q, size_t k, QueryStats* stats = nullptr,
+    const Predicate& q, size_t k, Scratch* scratch,
+    std::vector<Element>* out, QueryStats* stats = nullptr,
     trace::Tracer* tracer = nullptr) {
-  std::vector<Element> result;
-  if (k == 0 || weights_desc.empty()) return result;
+  out->clear();
+  if (k == 0 || weights_desc.empty()) return;
   if (k > weights_desc.size()) k = weights_desc.size();
   trace::Span span(tracer, "binary_search", stats);
 
   // Binary search for the first (largest-weight) index idx such that
-  // count(weights_desc[idx]) >= k.
+  // count(weights_desc[idx]) >= k. One borrowed pool is recycled across
+  // all probes.
   uint64_t probes = 0;
   size_t lo = 0;                    // count(w[lo..]) may be < k
   size_t hi = weights_desc.size();  // sentinel: tau = -inf
   while (lo < hi) {
     const size_t mid = lo + (hi - lo) / 2;
     ++probes;
-    MonitoredResult<Element> probe =
-        MonitoredQuery(pri, q, weights_desc[mid], k, stats, tracer);
+    MonitoredPool<Element> probe =
+        MonitoredQuery(pri, q, weights_desc[mid], k, scratch, stats,
+                       tracer);
     if (probe.hit_budget) {
       hi = mid;  // count >= k at mid; try a higher threshold.
     } else {
@@ -69,10 +77,25 @@ std::vector<Element> BinarySearchTopKQuery(
   const double tau = (lo < weights_desc.size())
                          ? weights_desc[lo]
                          : -std::numeric_limits<double>::infinity();
-  MonitoredResult<Element> fin =
-      MonitoredQuery(pri, q, tau, pri.size() + 1, stats, tracer);
+  MonitoredPool<Element> fin =
+      MonitoredQuery(pri, q, tau, pri.size() + 1, scratch, stats, tracer);
   SelectTopK(&fin.elements, k);
-  return fin.elements;
+  out->assign(fin.elements.begin(), fin.elements.end());
+}
+
+// Value-returning compatibility form (owns a throwaway Scratch; may
+// allocate).
+template <typename Pri, typename Predicate,
+          typename Element = typename Pri::Element>
+std::vector<Element> BinarySearchTopKQuery(
+    const Pri& pri, const std::vector<double>& weights_desc,
+    const Predicate& q, size_t k, QueryStats* stats = nullptr,
+    trace::Tracer* tracer = nullptr) {
+  std::vector<Element> result;
+  Scratch scratch;
+  BinarySearchTopKQueryInto(pri, weights_desc, q, k, &scratch, &result,
+                            stats, tracer);
+  return result;
 }
 
 // Self-contained baseline structure: owns the prioritized structure and
@@ -96,6 +119,15 @@ class BinarySearchTopK {
                              QueryStats* stats = nullptr,
                              trace::Tracer* tracer = nullptr) const {
     return BinarySearchTopKQuery(pri_, weights_desc_, q, k, stats, tracer);
+  }
+
+  // Scratch-threaded form: zero allocations once `scratch` and *out are
+  // warm (the serving engine's steady-state path).
+  void QueryInto(const Predicate& q, size_t k, Scratch* scratch,
+                 std::vector<Element>* out, QueryStats* stats = nullptr,
+                 trace::Tracer* tracer = nullptr) const {
+    BinarySearchTopKQueryInto(pri_, weights_desc_, q, k, scratch, out,
+                              stats, tracer);
   }
 
   const Pri& prioritized() const { return pri_; }

@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/scratch.h"
 #include "common/stats.h"
 #include "core/problem.h"
 #include "trace/tracer.h"
@@ -41,51 +42,94 @@ struct BudgetedResult {
   size_t stages = 0;  // top-k' queries issued
 };
 
+// Outcome of the in-place form: the elements live in the caller's
+// vector, so only the verdict travels back.
+struct BudgetedRun {
+  bool complete = false;
+  size_t stages = 0;  // top-k' queries issued
+};
+
 // Runs staged top-k' queries against `s` until the answer is complete
 // (k' reached k, or the structure ran out of matches) or should_stop()
-// returns true between stages. should_stop is any callable examining
-// external state — a cost tally, a deadline clock, a cancellation flag.
+// returns true between stages, writing each stage's answer into *out —
+// ONE buffer reused across the whole doubling ladder (and, when the
+// caller recycles it, across requests). should_stop is any callable
+// examining external state — a cost tally, a deadline clock, a
+// cancellation flag. Structures that implement the scratch-threaded
+// QueryInto are served allocation-free; plain TopKStructures fall back
+// to move-assigning their freshly built result.
+template <typename S, typename StopFn>
+  requires TopKStructure<S>
+BudgetedRun BudgetedTopKInto(const S& s, const typename S::Predicate& q,
+                             size_t k, StopFn&& should_stop,
+                             Scratch* scratch,
+                             std::vector<typename S::Element>* out,
+                             QueryStats* stats = nullptr,
+                             trace::Tracer* tracer = nullptr) {
+  trace::Span span(tracer, "budgeted_query", stats);
+  span.Arg("k", k);
+  BudgetedRun run;
+  out->clear();
+  if (k == 0) {
+    run.complete = true;
+    return run;
+  }
+  size_t kp = 1;
+  for (;;) {
+    ++run.stages;
+    {
+      // The TopKStructure concept only guarantees Query(q, kp, stats);
+      // prefer the scratch-threaded QueryInto when the structure has
+      // one, and pass the tracer through when it is accepted.
+      trace::Span stage(tracer, "budgeted_stage", stats);
+      stage.Arg("kp", kp);
+      if constexpr (requires {
+                      s.QueryInto(q, kp, scratch, out, stats, tracer);
+                    }) {
+        s.QueryInto(q, kp, scratch, out, stats, tracer);
+      } else if constexpr (requires {
+                             s.QueryInto(q, kp, scratch, out, stats);
+                           }) {
+        s.QueryInto(q, kp, scratch, out, stats);
+      } else if constexpr (requires { s.Query(q, kp, stats, tracer); }) {
+        *out = s.Query(q, kp, stats, tracer);
+      } else {
+        *out = s.Query(q, kp, stats);
+      }
+    }
+    if (kp >= k || out->size() < kp) {
+      // Either the full k was answered or the structure has fewer than
+      // kp matches — in both cases this is the complete answer.
+      run.complete = true;
+      span.Arg("stages", run.stages);
+      return run;
+    }
+    if (should_stop()) {
+      span.Arg("stages", run.stages);
+      span.Arg("stopped", 1);
+      return run;  // correct top-kp prefix, flagged
+    }
+    kp = std::min(k, kp * 2);
+  }
+}
+
+// Value-returning compatibility form: owns a throwaway Scratch, so each
+// call may allocate (first-touch pool growth plus the returned vector).
+// The serving engine uses BudgetedTopKInto with its per-worker arena.
 template <typename S, typename StopFn>
   requires TopKStructure<S>
 BudgetedResult<typename S::Element> BudgetedTopK(
     const S& s, const typename S::Predicate& q, size_t k,
     StopFn&& should_stop, QueryStats* stats = nullptr,
     trace::Tracer* tracer = nullptr) {
-  trace::Span span(tracer, "budgeted_query", stats);
-  span.Arg("k", k);
   BudgetedResult<typename S::Element> out;
-  if (k == 0) {
-    out.complete = true;
-    return out;
-  }
-  size_t kp = 1;
-  for (;;) {
-    ++out.stages;
-    {
-      // The TopKStructure concept only guarantees Query(q, kp, stats);
-      // pass the tracer through when the structure accepts one.
-      trace::Span stage(tracer, "budgeted_stage", stats);
-      stage.Arg("kp", kp);
-      if constexpr (requires { s.Query(q, kp, stats, tracer); }) {
-        out.elements = s.Query(q, kp, stats, tracer);
-      } else {
-        out.elements = s.Query(q, kp, stats);
-      }
-    }
-    if (kp >= k || out.elements.size() < kp) {
-      // Either the full k was answered or the structure has fewer than
-      // kp matches — in both cases this is the complete answer.
-      out.complete = true;
-      span.Arg("stages", out.stages);
-      return out;
-    }
-    if (should_stop()) {
-      span.Arg("stages", out.stages);
-      span.Arg("stopped", 1);
-      return out;  // correct top-kp prefix, flagged
-    }
-    kp = std::min(k, kp * 2);
-  }
+  Scratch scratch;
+  const BudgetedRun run =
+      BudgetedTopKInto(s, q, k, should_stop, &scratch, &out.elements,
+                       stats, tracer);
+  out.complete = run.complete;
+  out.stages = run.stages;
+  return out;
 }
 
 }  // namespace topk

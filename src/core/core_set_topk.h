@@ -37,6 +37,7 @@
 #include "common/check.h"
 #include "common/kselect.h"
 #include "common/random.h"
+#include "common/scratch.h"
 #include "common/stats.h"
 #include "core/binary_search_topk.h"
 #include "core/core_set.h"
@@ -131,30 +132,47 @@ class CoreSetTopK {
                              QueryStats* stats = nullptr,
                              trace::Tracer* tracer = nullptr) const {
     std::vector<Element> result;
-    if (k == 0 || n_ == 0) return result;
+    Scratch scratch;
+    QueryInto(q, k, &scratch, &result, stats, tracer);
+    return result;
+  }
+
+  // Scratch-threaded form writing into *out (cleared first): every
+  // candidate pool across the small-k chain, the large-k ladder, the
+  // full scan, and the binary-search fallback lives in a buffer
+  // borrowed from `scratch`, so a warm arena and a warm *out serve the
+  // query with zero heap allocations.
+  void QueryInto(const Predicate& q, size_t k, Scratch* scratch,
+                 std::vector<Element>* out, QueryStats* stats = nullptr,
+                 trace::Tracer* tracer = nullptr) const {
+    out->clear();
+    if (k == 0 || n_ == 0) return;
     constexpr double kNegInf = -std::numeric_limits<double>::infinity();
     const Pri& pri = chain_->level0();
     trace::Span span(tracer, "thm1_query", stats);
     span.Arg("k", k);
 
     if (k <= f_) {
-      std::optional<std::vector<Element>> top =
-          chain_->QueryTopF(q, stats, tracer);
+      std::optional<ScratchVec<Element>> top =
+          chain_->QueryTopF(q, scratch, stats, tracer);
       if (top.has_value()) {
-        if (top->size() > k) top->resize(k);  // already sorted desc
-        return *std::move(top);
+        const size_t take = std::min(k, top->size());  // already sorted desc
+        out->assign(top->begin(), top->begin() + take);
+        return;
       }
-      return Fallback(q, k, stats, tracer);
+      FallbackInto(q, k, scratch, out, stats, tracer);
+      return;
     }
 
     if (k >= n_ / 2) {
       // Read everything: O(n/B) = O(k/B).
       span.Arg("full_scan", 1);
       if (stats != nullptr) ++stats->full_scans;
-      MonitoredResult<Element> all =
-          MonitoredQuery(pri, q, kNegInf, n_ + 1, stats, tracer);
+      MonitoredPool<Element> all =
+          MonitoredQuery(pri, q, kNegInf, n_ + 1, scratch, stats, tracer);
       SelectTopK(&all.elements, k);
-      return all.elements;
+      out->assign(all.elements.begin(), all.elements.end());
+      return;
     }
 
     // Smallest i with K = 2^{i-1} f >= k; k < n/2 guarantees K <= n, so
@@ -170,33 +188,42 @@ class CoreSetTopK {
     // this query probed — the per-query attribution E23 cares about.
     span.Arg("core_set_level", i);
     const size_t budget = static_cast<size_t>(4.0 * K) + 1;
-    MonitoredResult<Element> probe =
-        MonitoredQuery(pri, q, kNegInf, budget, stats, tracer);
-    if (!probe.hit_budget) {
-      SelectTopK(&probe.elements, k);
-      return probe.elements;
-    }
+    {
+      MonitoredPool<Element> probe =
+          MonitoredQuery(pri, q, kNegInf, budget, scratch, stats, tracer);
+      if (!probe.hit_budget) {
+        SelectTopK(&probe.elements, k);
+        out->assign(probe.elements.begin(), probe.elements.end());
+        return;
+      }
+    }  // budget-hit probe pool returns to the arena before the ladder
     if (i == 0 || i > large_k_chains_.size()) {
-      return Fallback(q, k, stats, tracer);
+      FallbackInto(q, k, scratch, out, stats, tracer);
+      return;
     }
 
-    std::optional<std::vector<Element>> top =
-        large_k_chains_[i - 1].QueryTopF(q, stats, tracer);
+    std::optional<ScratchVec<Element>> top =
+        large_k_chains_[i - 1].QueryTopF(q, scratch, stats, tracer);
     const size_t rank = CoreSetRank(n_, Problem::kLambda,
                                     options_.constant_scale);
     if (!top.has_value() || top->size() < rank) {
-      return Fallback(q, k, stats, tracer);
+      top.reset();
+      FallbackInto(q, k, scratch, out, stats, tracer);
+      return;
     }
     const double tau = (*top)[rank - 1].weight;
+    top.reset();  // only tau survives; recycle the pool for the fetch
 
     // Pivot rank is in [K, 4K] w.h.p.; allow 2x slack.
-    MonitoredResult<Element> fetched = MonitoredQuery(
-        pri, q, tau, static_cast<size_t>(8.0 * K) + 1, stats, tracer);
+    MonitoredPool<Element> fetched = MonitoredQuery(
+        pri, q, tau, static_cast<size_t>(8.0 * K) + 1, scratch, stats,
+        tracer);
     if (fetched.hit_budget || fetched.elements.size() < k) {
-      return Fallback(q, k, stats, tracer);
+      FallbackInto(q, k, scratch, out, stats, tracer);
+      return;
     }
     SelectTopK(&fetched.elements, k);
-    return fetched.elements;
+    out->assign(fetched.elements.begin(), fetched.elements.end());
   }
 
  private:
@@ -215,13 +242,13 @@ class CoreSetTopK {
     return static_cast<size_t>(f);
   }
 
-  std::vector<Element> Fallback(const Predicate& q, size_t k,
-                                QueryStats* stats,
-                                trace::Tracer* tracer) const {
+  void FallbackInto(const Predicate& q, size_t k, Scratch* scratch,
+                    std::vector<Element>* out, QueryStats* stats,
+                    trace::Tracer* tracer) const {
     trace::Instant(tracer, "fallback");
     if (stats != nullptr) ++stats->fallbacks;
-    return BinarySearchTopKQuery(chain_->level0(), weights_desc_, q, k,
-                                 stats, tracer);
+    BinarySearchTopKQueryInto(chain_->level0(), weights_desc_, q, k,
+                              scratch, out, stats, tracer);
   }
 
   ReductionOptions options_;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/kselect.h"
+#include "common/scratch.h"
 #include "common/stats.h"
 #include "core/problem.h"
 #include "core/sink.h"
@@ -55,7 +56,20 @@ class CountingTopK {
   std::vector<Element> Query(const Predicate& q, size_t k,
                              QueryStats* stats = nullptr) const {
     std::vector<Element> result;
-    if (k == 0 || n_ == 0) return result;
+    Scratch scratch;
+    QueryInto(q, k, &scratch, &result, stats);
+    return result;
+  }
+
+  // Scratch-threaded form writing into *out (cleared first): the final
+  // fetch pool is borrowed from `scratch`, so a warm arena and a warm
+  // *out serve the query with zero heap allocations (the binary search
+  // itself only issues counting probes).
+  void QueryInto(const Predicate& q, size_t k, Scratch* scratch,
+                 std::vector<Element>* out,
+                 QueryStats* stats = nullptr) const {
+    out->clear();
+    if (k == 0 || n_ == 0) return;
     constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
     // Largest threshold (smallest index in weights_desc_) with
@@ -73,10 +87,10 @@ class CountingTopK {
     }
     const double tau = lo < weights_desc_.size() ? weights_desc_[lo]
                                                  : kNegInf;
-    MonitoredResult<Element> fetched =
-        MonitoredQuery(pri_, q, tau, n_ + 1, stats);
+    MonitoredPool<Element> fetched =
+        MonitoredQuery(pri_, q, tau, n_ + 1, scratch, stats);
     SelectTopK(&fetched.elements, k);
-    return fetched.elements;
+    out->assign(fetched.elements.begin(), fetched.elements.end());
   }
 
  private:

@@ -40,6 +40,7 @@
 #include "common/check.h"
 #include "common/kselect.h"
 #include "common/random.h"
+#include "common/scratch.h"
 #include "common/stats.h"
 #include "core/factory.h"
 #include "core/problem.h"
@@ -128,7 +129,20 @@ class SampledTopK {
                              QueryStats* stats = nullptr,
                              trace::Tracer* tracer = nullptr) const {
     std::vector<Element> result;
-    if (k == 0 || n_ == 0) return result;
+    Scratch scratch;
+    QueryInto(q, k, &scratch, &result, stats, tracer);
+    return result;
+  }
+
+  // Scratch-threaded form writing into *out (cleared first): every
+  // round's probe and fetch pool is borrowed from `scratch` and
+  // recycled, so a warm arena and a warm *out serve the query with zero
+  // heap allocations.
+  void QueryInto(const Predicate& q, size_t k, Scratch* scratch,
+                 std::vector<Element>* out, QueryStats* stats = nullptr,
+                 trace::Tracer* tracer = nullptr) const {
+    out->clear();
+    if (k == 0 || n_ == 0) return;
     constexpr double kNegInf = -std::numeric_limits<double>::infinity();
     trace::Span span(tracer, "thm2_query", stats);
     span.Arg("k", k);
@@ -145,7 +159,10 @@ class SampledTopK {
         break;
       }
     }
-    if (i == levels_.size()) return ScanAll(q, k, stats, tracer);
+    if (i == levels_.size()) {
+      ScanAllInto(q, k, scratch, out, stats, tracer);
+      return;
+    }
 
     for (size_t j = i; j < levels_.size(); ++j) {
       if (stats != nullptr) ++stats->rounds;
@@ -157,14 +174,18 @@ class SampledTopK {
       round.Arg("level", j);
       round.Arg("K", static_cast<uint64_t>(level.K));
 
-      // Step 1: if |q(D)| <= 4K_j the monitored query completes.
-      MonitoredResult<Element> probe =
-          MonitoredQuery(*pri_, q, kNegInf, budget, stats, tracer);
-      if (!probe.hit_budget) {
-        round.Arg("verdict", kRoundProbeComplete);
-        SelectTopK(&probe.elements, k);
-        return probe.elements;
-      }
+      {
+        // Step 1: if |q(D)| <= 4K_j the monitored query completes.
+        MonitoredPool<Element> probe =
+            MonitoredQuery(*pri_, q, kNegInf, budget, scratch, stats,
+                           tracer);
+        if (!probe.hit_budget) {
+          round.Arg("verdict", kRoundProbeComplete);
+          SelectTopK(&probe.elements, k);
+          out->assign(probe.elements.begin(), probe.elements.end());
+          return;
+        }
+      }  // budget-hit probe pool returns to the arena before step 3
 
       // Step 2: heaviest sampled element under q.
       if (stats != nullptr) ++stats->max_queries;
@@ -176,8 +197,9 @@ class SampledTopK {
       }
 
       // Step 3: fetch everything at least as heavy as the sample max.
-      MonitoredResult<Element> fetched =
-          MonitoredQuery(*pri_, q, e->weight, budget, stats, tracer);
+      MonitoredPool<Element> fetched =
+          MonitoredQuery(*pri_, q, e->weight, budget, scratch, stats,
+                         tracer);
 
       // Step 4: succeeded iff completed with |S| > K_j (Lemma 3's rank
       // window guarantees the top-k are inside S then).
@@ -185,11 +207,13 @@ class SampledTopK {
           static_cast<double>(fetched.elements.size()) > level.K) {
         round.Arg("verdict", kRoundSuccess);
         SelectTopK(&fetched.elements, k);
-        return fetched.elements;
+        out->assign(fetched.elements.begin(), fetched.elements.end());
+        return;
       }
       round.Arg("verdict", kRoundMiss);
     }
-    return ScanAll(q, k, stats, tracer);  // terminal: read the whole D.
+    // Terminal: read the whole D.
+    ScanAllInto(q, k, scratch, out, stats, tracer);
   }
 
   // --- Dynamic interface (requires dynamic Pri and Max) -----------------
@@ -268,16 +292,16 @@ class SampledTopK {
     pri_.emplace(pri_factory_(std::move(data)));
   }
 
-  std::vector<Element> ScanAll(const Predicate& q, size_t k,
-                               QueryStats* stats,
-                               trace::Tracer* tracer = nullptr) const {
+  void ScanAllInto(const Predicate& q, size_t k, Scratch* scratch,
+                   std::vector<Element>* out, QueryStats* stats,
+                   trace::Tracer* tracer = nullptr) const {
     constexpr double kNegInf = -std::numeric_limits<double>::infinity();
     trace::Span span(tracer, "thm2_scan", stats);
     if (stats != nullptr) ++stats->full_scans;
-    MonitoredResult<Element> all =
-        MonitoredQuery(*pri_, q, kNegInf, n_ + 1, stats, tracer);
+    MonitoredPool<Element> all =
+        MonitoredQuery(*pri_, q, kNegInf, n_ + 1, scratch, stats, tracer);
     SelectTopK(&all.elements, k);
-    return all.elements;
+    out->assign(all.elements.begin(), all.elements.end());
   }
 
   // Global rebuilding keeps the K_i ladder matched to the current n;

@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/scratch.h"
 #include "common/stats.h"
 #include "trace/tracer.h"
 
@@ -98,6 +99,46 @@ MonitoredResult<E> MonitoredQuery(const S& s, const Pred& q, double tau,
       stats);
   AddEmitted(stats, out.elements.size());
   out.hit_budget = out.elements.size() >= budget;
+  span.Arg("hit_budget", out.hit_budget ? 1 : 0);
+  return out;
+}
+
+// MonitoredQuery collecting into a pool borrowed from `scratch` instead
+// of a freshly allocated vector: the zero-allocation serving path.
+// Identical semantics and identical accounting to the allocating form
+// above; the buffer (capacity included) goes back to the arena when the
+// result's ScratchVec dies.
+template <typename E>
+struct MonitoredPool {
+  ScratchVec<E> elements;  // structure emission order, as above
+  bool hit_budget = false;
+};
+
+template <typename S, typename Pred, typename E = typename S::Element>
+MonitoredPool<E> MonitoredQuery(const S& s, const Pred& q, double tau,
+                                size_t budget, Scratch* scratch,
+                                QueryStats* stats,
+                                trace::Tracer* tracer = nullptr) {
+  trace::Span span(tracer, "monitored_query", stats);
+  span.Arg("budget", budget);
+  MonitoredPool<E> out{scratch->Borrow<E>(), false};
+  if (budget == 0) {
+    out.hit_budget = true;
+    span.Arg("hit_budget", 1);
+    return out;
+  }
+  out.elements.reserve(budget < 1024 ? budget : 1024);
+  if (stats != nullptr) ++stats->prioritized_queries;
+  std::vector<E>& pool = out.elements.vec();
+  s.QueryPrioritized(
+      q, tau,
+      [&pool, budget](const E& e) {
+        pool.push_back(e);
+        return pool.size() < budget;
+      },
+      stats);
+  AddEmitted(stats, pool.size());
+  out.hit_budget = pool.size() >= budget;
   span.Arg("hit_budget", out.hit_budget ? 1 : 0);
   return out;
 }

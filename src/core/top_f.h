@@ -31,6 +31,7 @@
 #include "common/check.h"
 #include "common/kselect.h"
 #include "common/random.h"
+#include "common/scratch.h"
 #include "common/stats.h"
 #include "core/core_set.h"
 #include "core/factory.h"
@@ -103,12 +104,27 @@ class TopFChain {
     }
   }
 
-  // Top-min(f, |q(S)|) elements of q(S), heaviest first; nullopt when an
-  // unlucky core-set defeated the algorithm (caller must fall back).
+  // Top-min(f, |q(S)|) elements of q(S), heaviest first, in a pool
+  // borrowed from `scratch`; nullopt when an unlucky core-set defeated
+  // the algorithm (caller must fall back). The whole recursion works
+  // out of the arena: the steady state borrows one buffer at a time, so
+  // a warm arena serves any chain depth with zero allocations.
+  std::optional<ScratchVec<Element>> QueryTopF(
+      const Predicate& q, Scratch* scratch, QueryStats* stats,
+      trace::Tracer* tracer = nullptr) const {
+    return QueryLevel(0, q, scratch, stats, tracer);
+  }
+
+  // Compatibility form owning a throwaway Scratch (tests and one-off
+  // callers; may allocate).
   std::optional<std::vector<Element>> QueryTopF(
       const Predicate& q, QueryStats* stats,
       trace::Tracer* tracer = nullptr) const {
-    return QueryLevel(0, q, stats, tracer);
+    Scratch scratch;
+    std::optional<ScratchVec<Element>> top =
+        QueryTopF(q, &scratch, stats, tracer);
+    if (!top.has_value()) return std::nullopt;
+    return std::vector<Element>(top->begin(), top->end());
   }
 
  private:
@@ -117,33 +133,36 @@ class TopFChain {
     size_t n;  // number of elements indexed at this level
   };
 
-  std::optional<std::vector<Element>> QueryLevel(
-      size_t j, const Predicate& q, QueryStats* stats,
+  std::optional<ScratchVec<Element>> QueryLevel(
+      size_t j, const Predicate& q, Scratch* scratch, QueryStats* stats,
       trace::Tracer* tracer) const {
     constexpr double kNegInf = -std::numeric_limits<double>::infinity();
     const Level& level = levels_[j];
     trace::Span span(tracer, "topf_level", stats);
     span.Arg("level", j);
     span.Arg("n", level.n);
-    MonitoredResult<Element> r =
-        MonitoredQuery(level.pri, q, kNegInf, 4 * f_ + 1, stats, tracer);
-    if (!r.hit_budget) {
-      SelectTopK(&r.elements, f_);
-      return std::move(r.elements);
-    }
+    {
+      MonitoredPool<Element> r = MonitoredQuery(
+          level.pri, q, kNegInf, 4 * f_ + 1, scratch, stats, tracer);
+      if (!r.hit_budget) {
+        SelectTopK(&r.elements, f_);
+        return std::move(r.elements);
+      }
+    }  // budget-hit probe pool returns to the arena before recursing
     if (j + 1 >= levels_.size()) return std::nullopt;  // truncated chain
 
-    std::optional<std::vector<Element>> deeper =
-        QueryLevel(j + 1, q, stats, tracer);
+    std::optional<ScratchVec<Element>> deeper =
+        QueryLevel(j + 1, q, scratch, stats, tracer);
     if (!deeper.has_value()) return std::nullopt;
     const size_t rank = CoreSetRank(level.n, Problem::kLambda, scale_);
     if (deeper->size() < rank) return std::nullopt;  // unlucky sample
     const double tau = (*deeper)[rank - 1].weight;
+    deeper.reset();  // only tau survives; recycle the pool for the fetch
 
     // Lemma 2: e has weight rank in [f, 4f] within q(R_j) w.h.p.; allow
     // 2x slack before declaring the sample bad.
-    MonitoredResult<Element> fetched =
-        MonitoredQuery(level.pri, q, tau, 8 * f_ + 1, stats, tracer);
+    MonitoredPool<Element> fetched = MonitoredQuery(
+        level.pri, q, tau, 8 * f_ + 1, scratch, stats, tracer);
     if (fetched.hit_budget) return std::nullopt;          // rank too deep
     if (fetched.elements.size() < f_) return std::nullopt;  // rank too high
     SelectTopK(&fetched.elements, f_);

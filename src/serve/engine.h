@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/scratch.h"
 #include "common/stats.h"
 #include "core/budgeted_query.h"
 #include "serve/histogram.h"
@@ -100,8 +101,17 @@ class QueryEngine {
   QueryEngine(const Structure* structure, const Options& options,
               Metrics* metrics = nullptr)
       : structure_(structure), metrics_(metrics), max_batch_(options.max_batch),
-        slow_query_ns_(options.slow_query_ns), pool_(options.num_threads) {
+        slow_query_ns_(options.slow_query_ns), pool_(options.num_threads),
+        tallies_(pool_.num_threads()) {
     TOPK_CHECK(structure_ != nullptr);
+    // One scratch arena per worker, reused across requests AND batches:
+    // after warm-up every pool sits at its high-water mark and the
+    // steady-state query path allocates nothing. unique_ptr: Scratch is
+    // non-movable (handles point back at it).
+    scratches_.reserve(pool_.num_threads());
+    for (size_t t = 0; t < pool_.num_threads(); ++t) {
+      scratches_.push_back(std::make_unique<Scratch>());
+    }
     if (options.trace_capacity > 0) {
       tracers_.reserve(pool_.num_threads() + 1);
       for (size_t t = 0; t < pool_.num_threads() + 1; ++t) {
@@ -158,7 +168,19 @@ class QueryEngine {
   // Answers requests[i] into slot i of the returned vector — order is
   // preserved regardless of which worker served which request.
   std::vector<Result> QueryBatch(const std::vector<Request>& requests) {
-    std::vector<Result> results(requests.size());
+    std::vector<Result> results;
+    QueryBatchInto(requests, &results);
+    return results;
+  }
+
+  // In-place form: *results is resized to requests.size() and slot i
+  // answers requests[i]. A caller that recycles the same results vector
+  // keeps every slot's element buffer warm, which together with the
+  // per-worker scratch arenas makes the steady-state batch loop
+  // allocation-free (tests/alloc_regression_test.cc pins this).
+  void QueryBatchInto(const std::vector<Request>& requests,
+                      std::vector<Result>* results) {
+    results->resize(requests.size());
     if (requests.empty()) {
       cancel_.store(false, std::memory_order_relaxed);
       if (metrics_ != nullptr) {
@@ -166,7 +188,7 @@ class QueryEngine {
         empty.batches = 1;
         metrics_->Absorb(empty);
       }
-      return results;
+      return;
     }
 
     const size_t admitted =
@@ -177,7 +199,7 @@ class QueryEngine {
     trace::Tracer* coordinator =
         tracers_.empty() ? nullptr : tracers_.back().get();
     const auto batch_start = Clock::now();
-    std::vector<MetricsSnapshot> tallies(pool_.num_threads());
+    for (MetricsSnapshot& t : tallies_) t.Reset();
     std::atomic<size_t> cursor{0};
     {
       trace::Span batch_span(coordinator, "batch");
@@ -185,7 +207,8 @@ class QueryEngine {
       batch_span.Arg("requests", requests.size());
       batch_span.Arg("admitted", admitted);
       pool_.RunOnAll([&](size_t worker) {
-        MetricsSnapshot& tally = tallies[worker];
+        MetricsSnapshot& tally = tallies_[worker];
+        Scratch* scratch = scratches_[worker].get();
         // Each worker owns its tracer exclusively for the whole batch;
         // RunOnAll's barrier publishes the events to the coordinator.
         trace::Tracer* tracer =
@@ -193,7 +216,10 @@ class QueryEngine {
         for (size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
              i < requests.size();
              i = cursor.fetch_add(1, std::memory_order_relaxed)) {
-          Result& slot = results[i];
+          Result& slot = (*results)[i];
+          // Recycled slots carry the previous batch's answer; every
+          // path below must start from an empty (but warm) slot.
+          slot.elements.clear();
           // Admission control and between-request cancellation: shed
           // slots must not touch the structure at all.
           if (i >= admitted || cancel_requested()) {
@@ -216,8 +242,8 @@ class QueryEngine {
                     std::chrono::duration_cast<std::chrono::nanoseconds>(
                         start - batch_start)
                         .count()));
-            ServeOne(requests[i], batch_start, &slot, &tally.stats,
-                     tracer);
+            ServeOne(requests[i], batch_start, scratch, &slot,
+                     &tally.stats, tracer);
             tally.stats.results_returned += slot.elements.size();
             request_span.Arg("status",
                              static_cast<uint64_t>(slot.status));
@@ -245,17 +271,36 @@ class QueryEngine {
       merge_span.Arg("batch", batch_seq);
       MetricsSnapshot batch;
       batch.batches = 1;
-      for (const MetricsSnapshot& t : tallies) batch.Merge(t);
+      for (const MetricsSnapshot& t : tallies_) batch.Merge(t);
       metrics_->Absorb(batch);
     }
-    return results;
+  }
+
+  // Primes EVERY worker's scratch arena by serving each request once on
+  // each worker (results discarded, no metrics, no tracing). Batch
+  // scheduling is first-come-first-served, so a fast batch can drain
+  // before a parked worker wakes — leaving that worker's arena cold for
+  // many batches. After Warmup, any request-to-worker assignment of a
+  // workload drawn from these requests runs allocation-free (pools are
+  // per-element-type, sized to the high-water mark across the set).
+  void Warmup(const std::vector<Request>& requests) {
+    pool_.RunOnAll([&](size_t worker) {
+      Scratch* scratch = scratches_[worker].get();
+      Result slot;
+      QueryStats stats;
+      const auto start = Clock::now();
+      for (const Request& r : requests) {
+        slot.elements.clear();
+        ServeOne(r, start, scratch, &slot, &stats, nullptr);
+      }
+    });
   }
 
  private:
   using Clock = std::chrono::steady_clock;
 
   void ServeOne(const Request& r, Clock::time_point batch_start,
-                Result* slot, QueryStats* stats,
+                Scratch* scratch, Result* slot, QueryStats* stats,
                 trace::Tracer* tracer) const {
     trace::Span span(tracer, "exec", stats);
     const bool has_deadline = r.deadline_ns > 0;
@@ -267,7 +312,8 @@ class QueryEngine {
       return;
     }
     if (r.cost_budget == 0 && !has_deadline) {
-      slot->elements = StructureQuery(r.predicate, r.k, stats, tracer);
+      StructureQueryInto(r.predicate, r.k, scratch, &slot->elements,
+                         stats, tracer);
       slot->status = ResultStatus::kOk;
       return;
     }
@@ -292,22 +338,34 @@ class QueryEngine {
       }
       return false;
     };
-    BudgetedResult<Element> b = BudgetedTopK(*structure_, r.predicate,
-                                             r.k, should_stop, stats,
-                                             tracer);
-    slot->elements = std::move(b.elements);
-    slot->status = b.complete ? ResultStatus::kOk : stop_reason;
+    const BudgetedRun run =
+        BudgetedTopKInto(*structure_, r.predicate, r.k, should_stop,
+                         scratch, &slot->elements, stats, tracer);
+    slot->status = run.complete ? ResultStatus::kOk : stop_reason;
   }
 
   // The ShareableTopKStructure concept only guarantees Query(q, k,
-  // stats); pass the tracer through when the structure accepts one.
-  std::vector<Element> StructureQuery(const Predicate& q, size_t k,
-                                      QueryStats* stats,
-                                      trace::Tracer* tracer) const {
-    if constexpr (requires { structure_->Query(q, k, stats, tracer); }) {
-      return structure_->Query(q, k, stats, tracer);
+  // stats); prefer the scratch-threaded QueryInto when the structure
+  // has one, and pass the tracer through when it is accepted.
+  void StructureQueryInto(const Predicate& q, size_t k, Scratch* scratch,
+                          std::vector<Element>* out, QueryStats* stats,
+                          trace::Tracer* tracer) const {
+    if constexpr (requires {
+                    structure_->QueryInto(q, k, scratch, out, stats,
+                                          tracer);
+                  }) {
+      structure_->QueryInto(q, k, scratch, out, stats, tracer);
+    } else if constexpr (requires {
+                           structure_->QueryInto(q, k, scratch, out,
+                                                 stats);
+                         }) {
+      structure_->QueryInto(q, k, scratch, out, stats);
+    } else if constexpr (requires {
+                           structure_->Query(q, k, stats, tracer);
+                         }) {
+      *out = structure_->Query(q, k, stats, tracer);
     } else {
-      return structure_->Query(q, k, stats);
+      *out = structure_->Query(q, k, stats);
     }
   }
 
@@ -321,6 +379,14 @@ class QueryEngine {
   // tracing is off. unique_ptr: Tracer is non-movable.
   std::vector<std::unique_ptr<trace::Tracer>> tracers_;
   ThreadPool pool_;
+  // Per-worker accounting and scratch arenas, recycled across batches
+  // (Reset keeps capacity; the arenas never shrink). Worker t touches
+  // only tallies_[t] / scratches_[t] during a batch, so neither needs
+  // synchronization beyond RunOnAll's barrier.
+  // Thread-safety: guarded by the batch barrier (QueryBatchInto is not
+  // itself concurrent; see class comment).
+  std::vector<MetricsSnapshot> tallies_;
+  std::vector<std::unique_ptr<Scratch>> scratches_;
 };
 
 }  // namespace topk::serve

@@ -39,6 +39,16 @@ class LatencyHistogram {
     if (ns > max_ns_) max_ns_ = ns;
   }
 
+  // Back to the empty state (the engine recycles per-worker tallies
+  // across batches; a histogram is a flat array, so this is a memset).
+  void Reset() {
+    counts_.fill(0);
+    total_ = 0;
+    sum_ns_ = 0;
+    min_ns_ = std::numeric_limits<uint64_t>::max();
+    max_ns_ = 0;
+  }
+
   void Merge(const LatencyHistogram& o) {
     for (size_t i = 0; i < kNumBuckets; ++i) counts_[i] += o.counts_[i];
     total_ += o.total_;

@@ -78,6 +78,21 @@ struct MetricsSnapshot {
     if (slow_queries.size() > kMaxSlowQueries) slow_queries.pop_back();
   }
 
+  // Back to the empty state without releasing memory: the slow-query
+  // log keeps its capacity, so a recycled per-worker tally records
+  // whole batches allocation-free.
+  void Reset() {
+    stats = QueryStats{};
+    latency.Reset();
+    queries = 0;
+    batches = 0;
+    ok = 0;
+    degraded = 0;
+    shed = 0;
+    deadline_exceeded = 0;
+    slow_queries.clear();
+  }
+
   void Merge(const MetricsSnapshot& o) {
     stats += o.stats;
     latency.Merge(o.latency);

@@ -9,6 +9,12 @@
 // Single-owner: RunOnAll may not be called concurrently with itself
 // (checked). The job callable must itself be safe to invoke from many
 // threads at once.
+//
+// Dispatch is a FunctionRef (common/function_ref.h), not a
+// std::function: RunOnAll blocks until every worker has returned, so
+// the job only ever needs to be *referenced* for the duration of the
+// call — owning type-erasure would add a possible heap allocation and
+// an extra indirection on the per-batch path for nothing.
 
 #ifndef TOPK_SERVE_THREAD_POOL_H_
 #define TOPK_SERVE_THREAD_POOL_H_
@@ -16,12 +22,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/check.h"
+#include "common/function_ref.h"
 
 namespace topk::serve {
 
@@ -50,8 +56,9 @@ class ThreadPool {
   size_t num_threads() const { return threads_.size(); }
 
   // Runs job(worker_index) once on every worker and blocks until every
-  // call has returned.
-  void RunOnAll(const std::function<void(size_t)>& job) {
+  // call has returned. The FunctionRef only references the callable;
+  // the blocking barrier is what keeps it alive long enough.
+  void RunOnAll(FunctionRef<void(size_t)> job) {
     std::unique_lock<std::mutex> lock(mu_);
     TOPK_CHECK(running_ == 0);  // no concurrent RunOnAll
     job_ = &job;
@@ -66,7 +73,7 @@ class ThreadPool {
   void WorkerLoop(size_t index) {
     uint64_t seen_generation = 0;
     for (;;) {
-      const std::function<void(size_t)>* job = nullptr;
+      const FunctionRef<void(size_t)>* job = nullptr;
       {
         std::unique_lock<std::mutex> lock(mu_);
         work_cv_.wait(lock, [this, seen_generation] {
@@ -88,7 +95,7 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(size_t)>* job_ = nullptr;  // valid while running
+  const FunctionRef<void(size_t)>* job_ = nullptr;  // valid while running
   uint64_t generation_ = 0;
   size_t running_ = 0;
   bool shutdown_ = false;

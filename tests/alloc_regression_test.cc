@@ -1,0 +1,250 @@
+// Zero-allocation steady state: once a QueryEngine's per-worker scratch
+// arenas and recycled result slots are warm, serving a batch performs
+// ZERO heap allocations — for all four reductions, on both the plain
+// and the cost-budgeted (BudgetedTopKInto) paths. Counted by replacing
+// the global operator new/delete in this TU; any allocation anywhere in
+// the process during the measured window fails the test, so the
+// assertion covers the engine, the reductions, the substrates, and the
+// accounting layer at once.
+//
+// Skipped under ASan/TSan: sanitizers interpose on the allocator and
+// replacing operator new underneath them is not supported.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/binary_search_topk.h"
+#include "core/core_set_topk.h"
+#include "core/counting_topk.h"
+#include "core/sampled_topk.h"
+#include "range1d/count_tree.h"
+#include "range1d/point1d.h"
+#include "range1d/pst.h"
+#include "range1d/range_max.h"
+#include "serve/engine.h"
+#include "test_util.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define TOPK_ALLOC_COUNTING_DISABLED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define TOPK_ALLOC_COUNTING_DISABLED 1
+#endif
+#endif
+
+// GCC inlines through the replaced operator new below, sees malloc, and
+// then flags the free() in the replaced operator delete as mismatched —
+// a false positive: the replaced pair IS malloc/free, consistently.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+// Relaxed is enough: the measured window is bracketed by the
+// QueryBatchInto barrier, which orders the workers' counts.
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+#ifndef TOPK_ALLOC_COUNTING_DISABLED
+// Counting allocator: every allocation in the process ticks the
+// counter. Aligned (over-aligned-type) variants are intentionally NOT
+// replaced — the default ones are malloc-family too, so the pairs stay
+// consistent — and nothing on the query path uses over-aligned types.
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  std::abort();  // no exceptions in this codebase
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif  // !TOPK_ALLOC_COUNTING_DISABLED
+
+namespace topk {
+namespace {
+
+using range1d::CountTree;
+using range1d::Point1D;
+using range1d::PrioritySearchTree;
+using range1d::Range1D;
+using range1d::Range1DProblem;
+using range1d::RangeMax;
+
+using Thm1 = CoreSetTopK<Range1DProblem, PrioritySearchTree>;
+using Thm2 = SampledTopK<Range1DProblem, PrioritySearchTree, RangeMax>;
+using Baseline = BinarySearchTopK<Range1DProblem, PrioritySearchTree>;
+using Counting = CountingTopK<Range1DProblem, PrioritySearchTree, CountTree>;
+
+constexpr size_t kN = 1500;
+
+std::vector<Point1D> Data() {
+  Rng rng(1234);
+  return test::RandomPoints1D(kN, &rng);
+}
+
+// Diverse single-worker batch: mixed k, mixed ranges, one cost-budgeted
+// request (the BudgetedTopKInto staged path). One worker makes the
+// request->worker assignment deterministic, so the warm-up batches warm
+// exactly the pools the measured batches use.
+template <typename Structure>
+void ExpectZeroAllocSteadyState(const Structure& s) {
+  using Engine = serve::QueryEngine<Structure>;
+  typename Engine::Options options;
+  options.num_threads = 1;
+  Engine engine(&s, options);
+
+  Rng rng(99);
+  std::vector<typename Engine::Request> requests;
+  for (size_t i = 0; i < 24; ++i) {
+    double lo = rng.NextDouble();
+    double hi = rng.NextDouble();
+    if (lo > hi) std::swap(lo, hi);
+    typename Engine::Request r;
+    r.predicate = Range1D{lo, hi};
+    r.k = 1 + i * 7 % 60;
+    requests.push_back(r);
+  }
+  {
+    // Staged-doubling path: a budget small enough to degrade sometimes,
+    // deterministic because query-time work is deterministic.
+    typename Engine::Request budgeted;
+    budgeted.predicate = Range1D{0.1, 0.9};
+    budgeted.k = 40;
+    budgeted.cost_budget = 500;
+    requests.push_back(budgeted);
+  }
+
+  std::vector<typename Engine::Result> results;
+  for (int warm = 0; warm < 3; ++warm) {
+    engine.QueryBatchInto(requests, &results);
+  }
+
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int it = 0; it < 5; ++it) {
+    engine.QueryBatchInto(requests, &results);
+  }
+  const uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(allocs, 0u) << "steady-state batches allocated";
+
+  // The recycled-slot path must still produce exact answers.
+  const std::vector<Point1D> data = Data();
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (!results[i].ok()) continue;
+    EXPECT_EQ(test::IdsOf(results[i].elements),
+              test::IdsOf(test::BruteTopK<Range1DProblem>(
+                  data, requests[i].predicate, requests[i].k)))
+        << "request " << i;
+  }
+}
+
+// Multi-worker batch. Request-to-worker assignment is a race (the
+// self-scheduling cursor), so a parked worker can sit out many fast
+// batches and then serve its first request COLD mid-measurement;
+// Warmup() primes every worker's arena on every request, making the
+// steady state independent of the assignment. The slot buffers are
+// deterministic regardless (slot i always answers request i).
+template <typename Structure>
+void ExpectZeroAllocSteadyStateThreaded(const Structure& s) {
+  using Engine = serve::QueryEngine<Structure>;
+  typename Engine::Options options;
+  options.num_threads = 4;
+  Engine engine(&s, options);
+
+  Rng rng(321);
+  std::vector<typename Engine::Request> requests;
+  for (size_t i = 0; i < 32; ++i) {
+    double lo = rng.NextDouble();
+    double hi = rng.NextDouble();
+    if (lo > hi) std::swap(lo, hi);
+    typename Engine::Request r;
+    r.predicate = Range1D{lo, hi};
+    r.k = 1 + i * 5 % 50;
+    requests.push_back(r);
+  }
+
+  engine.Warmup(requests);
+  std::vector<typename Engine::Result> results;
+  for (int warm = 0; warm < 2; ++warm) {
+    engine.QueryBatchInto(requests, &results);
+  }
+
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int it = 0; it < 5; ++it) {
+    engine.QueryBatchInto(requests, &results);
+  }
+  const uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(allocs, 0u) << "steady-state threaded batches allocated";
+}
+
+#ifdef TOPK_ALLOC_COUNTING_DISABLED
+#define TOPK_SKIP_UNDER_SANITIZERS() \
+  GTEST_SKIP() << "allocation counting disabled under sanitizers"
+#else
+#define TOPK_SKIP_UNDER_SANITIZERS() (void)0
+#endif
+
+TEST(AllocRegression, CoreSetTopKZeroSteadyStateAllocs) {
+  TOPK_SKIP_UNDER_SANITIZERS();
+  Thm1 s(Data());
+  ExpectZeroAllocSteadyState(s);
+  ExpectZeroAllocSteadyStateThreaded(s);
+}
+
+TEST(AllocRegression, SampledTopKZeroSteadyStateAllocs) {
+  TOPK_SKIP_UNDER_SANITIZERS();
+  Thm2 s(Data());
+  ExpectZeroAllocSteadyState(s);
+  ExpectZeroAllocSteadyStateThreaded(s);
+}
+
+TEST(AllocRegression, BinarySearchTopKZeroSteadyStateAllocs) {
+  TOPK_SKIP_UNDER_SANITIZERS();
+  Baseline s(Data());
+  ExpectZeroAllocSteadyState(s);
+  ExpectZeroAllocSteadyStateThreaded(s);
+}
+
+TEST(AllocRegression, CountingTopKZeroSteadyStateAllocs) {
+  TOPK_SKIP_UNDER_SANITIZERS();
+  Counting s(Data());
+  ExpectZeroAllocSteadyState(s);
+  ExpectZeroAllocSteadyStateThreaded(s);
+}
+
+// The compatibility Query() overloads own a throwaway Scratch — they
+// may allocate, but must return bit-identical answers to the scratch
+// path (the engine results are checked against brute force above; this
+// pins the two entry points to each other directly).
+TEST(AllocRegression, CompatQueryMatchesScratchPath) {
+  const std::vector<Point1D> data = Data();
+  Thm1 s(data);
+  Scratch scratch;
+  std::vector<Point1D> out;
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    double lo = rng.NextDouble();
+    double hi = rng.NextDouble();
+    if (lo > hi) std::swap(lo, hi);
+    const Range1D q{lo, hi};
+    const size_t k = 1 + static_cast<size_t>(i) % 40;
+    s.QueryInto(q, k, &scratch, &out);
+    EXPECT_EQ(test::IdsOf(out), test::IdsOf(s.Query(q, k)));
+  }
+  EXPECT_EQ(scratch.outstanding(), 0u);
+}
+
+}  // namespace
+}  // namespace topk

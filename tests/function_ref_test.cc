@@ -1,0 +1,92 @@
+// FunctionRef (the ThreadPool dispatch type): lambdas with captures,
+// plain function pointers, and stateful function objects, standalone
+// and through ThreadPool::RunOnAll.
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/function_ref.h"
+#include "serve/thread_pool.h"
+
+namespace topk {
+namespace {
+
+int TimesTwo(int x) { return 2 * x; }
+
+TEST(FunctionRef, FunctionPointerCallee) {
+  FunctionRef<int(int)> f = &TimesTwo;
+  EXPECT_EQ(f(21), 42);
+  FunctionRef<int(int)> g = TimesTwo;  // decays identically
+  EXPECT_EQ(g(5), 10);
+}
+
+TEST(FunctionRef, CapturingLambdaCallee) {
+  int base = 100;
+  auto lambda = [&base](int x) { return base + x; };
+  FunctionRef<int(int)> f = lambda;
+  EXPECT_EQ(f(1), 101);
+  base = 200;  // referenced, not copied: sees the update
+  EXPECT_EQ(f(1), 201);
+}
+
+TEST(FunctionRef, MutatingCalleeStatePersists) {
+  size_t calls = 0;
+  auto lambda = [&calls]() { ++calls; };
+  FunctionRef<void()> f = lambda;
+  f();
+  f();
+  EXPECT_EQ(calls, 2u);
+}
+
+TEST(FunctionRef, VoidReturnDiscardsCalleeResult) {
+  int hits = 0;
+  auto lambda = [&hits](int x) {
+    hits += x;
+    return hits;  // non-void callee behind a void signature
+  };
+  FunctionRef<void(int)> f = lambda;
+  f(3);
+  EXPECT_EQ(hits, 3);
+}
+
+std::atomic<size_t>* g_pointer_target = nullptr;
+void BumpTarget(size_t) {
+  g_pointer_target->fetch_add(1, std::memory_order_relaxed);
+}
+
+TEST(ThreadPool, RunOnAllWithCapturingLambda) {
+  serve::ThreadPool pool(4);
+  std::vector<size_t> seen(pool.num_threads(), 0);
+  std::atomic<size_t> total{0};
+  pool.RunOnAll([&](size_t worker) {
+    seen[worker] = worker + 1;
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 4u);
+  for (size_t t = 0; t < seen.size(); ++t) EXPECT_EQ(seen[t], t + 1);
+}
+
+TEST(ThreadPool, RunOnAllWithFunctionPointer) {
+  serve::ThreadPool pool(3);
+  std::atomic<size_t> count{0};
+  g_pointer_target = &count;
+  pool.RunOnAll(&BumpTarget);
+  g_pointer_target = nullptr;
+  EXPECT_EQ(count.load(), 3u);
+}
+
+TEST(ThreadPool, BackToBackRegionsReuseWorkers) {
+  serve::ThreadPool pool(2);
+  std::atomic<size_t> count{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.RunOnAll(
+        [&](size_t) { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_EQ(count.load(), 100u);
+}
+
+}  // namespace
+}  // namespace topk

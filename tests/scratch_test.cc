@@ -1,0 +1,123 @@
+// The scratch arena: borrow/return semantics, capacity recycling,
+// per-type pools, move-only handle behavior, and the outstanding-handle
+// ledger the destructor enforces.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/scratch.h"
+#include "range1d/point1d.h"
+
+namespace topk {
+namespace {
+
+using range1d::Point1D;
+
+TEST(Scratch, BorrowReturnsEmptyVec) {
+  Scratch s;
+  ScratchVec<int> v = s.Borrow<int>();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(s.outstanding(), 1u);
+}
+
+TEST(Scratch, ReturnOnDestructionKeepsCapacity) {
+  Scratch s;
+  const int* data = nullptr;
+  size_t grown_capacity = 0;
+  {
+    ScratchVec<int> v = s.Borrow<int>();
+    for (int i = 0; i < 1000; ++i) v.push_back(i);
+    data = v.vec().data();
+    grown_capacity = v.vec().capacity();
+  }
+  EXPECT_EQ(s.outstanding(), 0u);
+  EXPECT_EQ(s.free_count<int>(), 1u);
+  // The next borrow hands the same grown buffer back, cleared.
+  ScratchVec<int> v2 = s.Borrow<int>();
+  EXPECT_TRUE(v2.empty());
+  EXPECT_EQ(v2.vec().capacity(), grown_capacity);
+  EXPECT_EQ(v2.vec().data(), data);
+  EXPECT_EQ(s.free_count<int>(), 0u);
+}
+
+TEST(Scratch, DistinctTypesGetDistinctPools) {
+  Scratch s;
+  {
+    ScratchVec<int> a = s.Borrow<int>();
+    ScratchVec<double> b = s.Borrow<double>();
+    ScratchVec<Point1D> c = s.Borrow<Point1D>();
+    a.push_back(1);
+    b.push_back(2.0);
+    c.push_back(Point1D{});
+    EXPECT_EQ(s.outstanding(), 3u);
+  }
+  EXPECT_EQ(s.outstanding(), 0u);
+  EXPECT_EQ(s.num_pools(), 3u);
+  EXPECT_EQ(s.free_count<int>(), 1u);
+  EXPECT_EQ(s.free_count<double>(), 1u);
+  EXPECT_EQ(s.free_count<Point1D>(), 1u);
+}
+
+TEST(Scratch, ConcurrentBorrowsOfOneTypeGetDistinctBuffers) {
+  Scratch s;
+  ScratchVec<int> a = s.Borrow<int>();
+  ScratchVec<int> b = s.Borrow<int>();
+  a.push_back(1);
+  b.push_back(2);
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(b[0], 2);
+  EXPECT_EQ(s.outstanding(), 2u);
+}
+
+TEST(Scratch, MoveTransfersOwnership) {
+  Scratch s;
+  ScratchVec<int> a = s.Borrow<int>();
+  a.push_back(7);
+  ScratchVec<int> b = std::move(a);
+  // One live handle: the move emptied `a`, so only b returns the buffer.
+  EXPECT_EQ(s.outstanding(), 1u);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], 7);
+}
+
+TEST(Scratch, MoveAssignReturnsTheOverwrittenBuffer) {
+  Scratch s;
+  ScratchVec<int> a = s.Borrow<int>();
+  ScratchVec<int> b = s.Borrow<int>();
+  EXPECT_EQ(s.outstanding(), 2u);
+  b = std::move(a);  // b's original buffer goes back to the pool
+  EXPECT_EQ(s.outstanding(), 1u);
+  EXPECT_EQ(s.free_count<int>(), 1u);
+}
+
+TEST(Scratch, OptionalResetRecyclesMidQuery) {
+  // The reductions' idiom: extract a scalar from a borrowed pool, reset
+  // the optional, and the very next borrow reuses the buffer.
+  Scratch s;
+  std::optional<ScratchVec<int>> probe = s.Borrow<int>();
+  for (int i = 0; i < 100; ++i) probe->push_back(i);
+  const int* data = probe->vec().data();
+  probe.reset();
+  ScratchVec<int> fetch = s.Borrow<int>();
+  EXPECT_EQ(fetch.vec().data(), data);
+}
+
+TEST(Scratch, SteadyStateReusesOneBuffer) {
+  Scratch s;
+  for (int round = 0; round < 10; ++round) {
+    ScratchVec<int> v = s.Borrow<int>();
+    for (int i = 0; i < 64; ++i) v.push_back(i);
+  }
+  // All ten rounds cycled a single pooled buffer.
+  EXPECT_EQ(s.free_count<int>(), 1u);
+  EXPECT_EQ(s.outstanding(), 0u);
+}
+
+}  // namespace
+}  // namespace topk

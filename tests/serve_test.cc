@@ -240,6 +240,31 @@ TEST(QueryEngine, ExactAtEveryThreadCountOverEveryStructure) {
   }
 }
 
+// Warmup primes every worker's scratch arena concurrently (each worker
+// serves every request into a throwaway slot); it must leave no trace
+// in the metrics and not perturb subsequent batches. Runs under TSan
+// via the tsan preset's serve sweep — Warmup and the batch path are the
+// two concurrent users of the per-worker arenas.
+TEST(QueryEngine, WarmupIsInvisibleAndBatchesStayExact) {
+  ServeFixture fx(4000, 48, 14);
+  Thm2 thm2(fx.data);
+  serve::Metrics metrics;
+  serve::QueryEngine<Thm2> engine(&thm2, {.num_threads = 4}, &metrics);
+  engine.Warmup(fx.requests);
+  EXPECT_EQ(metrics.Snapshot().queries, 0u);
+  std::vector<serve::QueryEngine<Thm2>::Result> results;
+  engine.QueryBatchInto(fx.requests, &results);
+  engine.QueryBatchInto(fx.requests, &results);  // recycled slots
+  ASSERT_EQ(results.size(), fx.requests.size());
+  for (size_t i = 0; i < fx.requests.size(); ++i) {
+    EXPECT_EQ(test::IdsOf(results[i].elements),
+              test::IdsOf(test::BruteTopK<Range1DProblem>(
+                  fx.data, fx.requests[i].predicate, fx.requests[i].k)))
+        << "request " << i;
+  }
+  EXPECT_EQ(metrics.Snapshot().queries, 2 * fx.requests.size());
+}
+
 TEST(QueryEngine, MultiThreadMatchesSingleThreadExactly) {
   ServeFixture fx(6000, 128, 12);
   Thm2 thm2(fx.data);

@@ -9,9 +9,11 @@
 # flagged), one suppressed via `// lint: sleep-ok` (must not be), and
 # one under a fault/ directory (sanctioned home, must not be); for the
 # tracer rule: one bare `tracer->` dereference (must be flagged) and
-# one suppressed via `// lint: tracer-ok` (must not be). Exactly two
-# findings total — a third means a suppression or sanction regressed;
-# fewer means a rule stopped firing.
+# one suppressed via `// lint: tracer-ok` (must not be); for the
+# function rule: one bare std::function member under a core/ directory
+# (must be flagged) and one suppressed via `// lint: function-ok` (must
+# not be). Exactly three findings total — a fourth means a suppression
+# or sanction regressed; fewer means a rule stopped firing.
 
 foreach(var PYTHON SCRIPT FIXTURE)
   if(NOT DEFINED ${var})
@@ -37,10 +39,14 @@ if(NOT out MATCHES "tracy\\.h:12: \\[tracer\\]")
   message(FATAL_ERROR "missing the expected [tracer] finding at "
                       "tracy.h:12\nstdout: ${out}\nstderr: ${err}")
 endif()
-if(NOT err MATCHES "2 finding")
-  message(FATAL_ERROR "expected exactly 2 findings (a suppression or "
+if(NOT out MATCHES "funky\\.h:14: \\[function\\]")
+  message(FATAL_ERROR "missing the expected [function] finding at "
+                      "core/funky.h:14\nstdout: ${out}\nstderr: ${err}")
+endif()
+if(NOT err MATCHES "3 finding")
+  message(FATAL_ERROR "expected exactly 3 findings (a suppression or "
                       "sanction regressed)\nstdout: ${out}\n"
                       "stderr: ${err}")
 endif()
 
-message(STATUS "lint.py: sleep/tracer rule self-test passed")
+message(STATUS "lint.py: sleep/tracer/function rule self-test passed")

@@ -38,6 +38,14 @@ Checks (see CLAUDE.md conventions):
                that has genuinely established non-null (e.g. behind the
                engine's tracing_enabled() gate) suppresses with
                `// lint: tracer-ok <reason>`.
+  function     `std::function` is banned under src/core/ and src/serve/:
+               owning type-erasure may heap-allocate on construction,
+               which silently breaks the zero-allocation steady-state
+               contract (DESIGN.md "scratch memory contract"). Use a
+               template parameter for stored callables or
+               topk::FunctionRef (common/function_ref.h) for borrowed
+               ones. Suppress a justified use with
+               `// lint: function-ok <reason>`.
 
 A finding prints `path:line: [rule] message`; exit status is the number
 of findings (0 = clean). Suppress any rule on one line with
@@ -49,7 +57,7 @@ import sys
 from pathlib import Path
 
 RULES = ("guard", "namespace", "assert", "random", "mutable", "sleep",
-         "tracer")
+         "tracer", "function")
 
 RANDOM_RE = re.compile(
     r"(?<![\w:])(rand|srand)\s*\(|std::mt19937|std::random_device"
@@ -59,11 +67,17 @@ MUTABLE_RE = re.compile(r"^\s*mutable\s+(.*)$")
 THREAD_SAFE_TYPES_RE = re.compile(r"std::(mutex|shared_mutex|atomic)")
 SLEEP_RE = re.compile(r"\bsleep_(for|until)\s*\(")
 TRACER_DEREF_RE = re.compile(r"\b\w*[Tt]racer\w*\s*->")
+FUNCTION_RE = re.compile(r"\bstd::function\s*<")
 
 
 def sleep_sanctioned(path: Path) -> bool:
     """The two homes where a real sleep is part of the contract."""
     return "fault" in path.parts or path.name == "thread_pool.h"
+
+
+def function_banned(path: Path) -> bool:
+    """Where owning type-erasure would sit on the zero-alloc hot path."""
+    return "core" in path.parts or "serve" in path.parts
 
 
 def suppressed(line: str, rule: str) -> bool:
@@ -137,6 +151,13 @@ def check_file(path: Path, root: Path, findings: list) -> None:
                                "and serve/thread_pool.h; a sleep hides a "
                                "missing sync primitive or wrecks benchmark "
                                "determinism")
+        if function_banned(path) and FUNCTION_RE.search(code):
+            report(i, "function",
+                   "std::function in src/core/ or src/serve/ may "
+                   "heap-allocate and breaks the zero-allocation "
+                   "steady-state contract; use a template parameter or "
+                   "topk::FunctionRef, or annotate "
+                   "`// lint: function-ok <reason>`")
         if "trace" not in path.parts and TRACER_DEREF_RE.search(code):
             report(i, "tracer",
                    "raw Tracer* dereference outside src/trace/; a tracer "
