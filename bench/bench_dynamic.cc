@@ -1,0 +1,243 @@
+// E25 — serving during mutation: the epoch/snapshot rotation
+// (serve/epoch.h) under the dynamic Theorem 2 instantiation (treap PST
+// + augmented-treap range max).
+//
+// Claims under test:
+//   * a QueryEngine in epoch mode keeps serving brute-force-exact
+//     answers while a writer thread applies update batches and
+//     republishes — every batch's answers match the snapshot of the
+//     epoch it pinned (checked here per batch, exit 1 on mismatch);
+//   * reader latency under churn stays in the same regime as the
+//     quiescent baseline: readers acquire a pin (two seq_cst accesses),
+//     never a lock, so the p50/p99 gap is epoch-cache effects, not
+//     contention (this container is often pinned to ONE core — the
+//     printed cpus value says what parallelism was really available);
+//   * retired epochs drain to exactly one once readers finish.
+//
+// Plain-text table + one metrics JSON line per phase (consumed by
+// tools/summarize_bench.py). Query timings never include construction;
+// the writer's shadow rebuild + publish cost is reported separately as
+// publish_ms — it IS the writer's copy-on-publish price (DESIGN.md,
+// "Epoch/snapshot serving contract").
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/kselect.h"
+#include "common/random.h"
+#include "core/reduction_options.h"
+#include "core/sampled_topk.h"
+#include "range1d/dyn_pst.h"
+#include "range1d/dyn_range_max.h"
+#include "range1d/point1d.h"
+#include "serve/engine.h"
+#include "serve/epoch.h"
+#include "serve/metrics.h"
+
+namespace topk {
+namespace {
+
+using range1d::DynamicPst;
+using range1d::DynamicRangeMax;
+using range1d::Point1D;
+using range1d::Range1D;
+using range1d::Range1DProblem;
+
+using DynTopK = SampledTopK<Range1DProblem, DynamicPst, DynamicRangeMax>;
+using Engine = serve::QueryEngine<DynTopK>;
+
+constexpr size_t kN = 1 << 14;
+constexpr size_t kBatch = 256;
+constexpr size_t kThreads = 2;
+constexpr size_t kQuiescentReps = 5;
+constexpr size_t kChurnBatches = 24;
+constexpr int kUpdatesPerPublish = 192;
+constexpr size_t kSpotChecks = 8;  // brute-forced requests per batch
+
+std::vector<serve::Request<Range1D>> MakeWorkload() {
+  Rng rng(0x5e25);
+  std::vector<serve::Request<Range1D>> requests;
+  requests.reserve(kBatch);
+  for (size_t i = 0; i < kBatch; ++i) {
+    double lo = rng.NextDouble(), hi = rng.NextDouble();
+    if (lo > hi) std::swap(lo, hi);
+    // Serving mix: mostly small k, every 16th request deep.
+    requests.push_back(
+        {{lo, hi}, (i % 16 == 0) ? size_t{512} : size_t{16}});
+  }
+  return requests;
+}
+
+// Brute-forces the first kSpotChecks requests of a batch against the
+// element multiset of the epoch the batch was served from.
+bool SpotCheck(const std::vector<serve::Request<Range1D>>& requests,
+               const std::vector<Engine::Result>& results,
+               const std::vector<Point1D>& snapshot) {
+  for (size_t i = 0; i < kSpotChecks && i < requests.size(); ++i) {
+    if (!results[i].ok()) return false;
+    std::vector<Point1D> pool;
+    for (const Point1D& p : snapshot) {
+      if (Range1DProblem::Matches(requests[i].predicate, p)) {
+        pool.push_back(p);
+      }
+    }
+    SelectTopK(&pool, requests[i].k);
+    if (pool.size() != results[i].elements.size()) return false;
+    for (size_t j = 0; j < pool.size(); ++j) {
+      if (pool[j].id != results[i].elements[j].id) return false;
+    }
+  }
+  return true;
+}
+
+void PrintRow(const char* phase, size_t batches, double batch_ms,
+              const serve::MetricsSnapshot& m, size_t publishes,
+              double publish_ms, bool exact) {
+  std::printf("%-10s %7zu %10.2f %10.0f %9.1f %9.1f %9.1f %6zu %10.2f %6s\n",
+              phase, batches, batch_ms,
+              static_cast<double>(kBatch) / (batch_ms / 1e3),
+              m.latency.PercentileNs(50.0) / 1e3,
+              m.latency.PercentileNs(95.0) / 1e3,
+              m.latency.PercentileNs(99.0) / 1e3, publishes, publish_ms,
+              exact ? "ok" : "FAIL");
+  std::printf("metrics_json structure=%s threads=%zu %s\n", phase,
+              kThreads, serve::ToJson(m).c_str());
+  if (!exact) std::exit(1);
+}
+
+void Run() {
+  std::printf(
+      "E25: epoch/snapshot serving under churn (n=%zu, batch=%zu\n"
+      "requests, %zu workers, %d updates per publish;\n"
+      "hardware_concurrency=%u). Columns: batches served, mean batch\n"
+      "wall ms, queries/s, reader latency p50/p95/p99 us, epochs\n"
+      "published, mean shadow rebuild+publish ms, exactness (first %zu\n"
+      "requests per batch brute-forced against the pinned snapshot).\n",
+      kN, kBatch, kThreads, kUpdatesPerPublish,
+      std::thread::hardware_concurrency(), kSpotChecks);
+  std::printf("%-10s %7s %10s %10s %9s %9s %9s %6s %10s %6s\n", "phase",
+              "batches", "batch_ms", "qps", "p50_us", "p95_us", "p99_us",
+              "pubs", "publish_ms", "exact");
+
+  const std::vector<Point1D> initial = bench::Points1D(kN, 25);
+  const std::vector<serve::Request<Range1D>> requests = MakeWorkload();
+  ReductionOptions opts;
+  opts.seed = 0xe25;
+  serve::EpochManager<DynTopK> epochs{DynTopK(initial, opts)};
+
+  // --- Quiescent baseline: epoch mode, nobody publishing. ---------------
+  {
+    serve::Metrics metrics;
+    Engine engine(&epochs, {.num_threads = kThreads}, &metrics);
+    std::vector<Engine::Result> results;
+    engine.QueryBatchInto(requests, &results);  // warm-up
+    bool exact = SpotCheck(requests, results, initial);
+    double total_s = 0.0;
+    for (size_t rep = 0; rep < kQuiescentReps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      engine.QueryBatchInto(requests, &results);
+      const auto t1 = std::chrono::steady_clock::now();
+      total_s += std::chrono::duration<double>(t1 - t0).count();
+      exact = exact && SpotCheck(requests, results, initial);
+    }
+    PrintRow("quiescent", kQuiescentReps,
+             total_s / static_cast<double>(kQuiescentReps) * 1e3,
+             metrics.Snapshot(), 0, 0.0, exact);
+  }
+
+  // --- Churn: a writer republishes mutated snapshots at full tilt. ------
+  {
+    std::mutex mu;
+    std::map<uint64_t, std::vector<Point1D>> snapshots;
+    snapshots[epochs.current_seq()] = initial;
+
+    std::atomic<bool> stop{false};
+    std::atomic<size_t> publishes{0};
+    std::atomic<uint64_t> publish_ns{0};
+    std::thread writer([&] {
+      Rng rng(26);
+      std::vector<Point1D> live = initial;
+      uint64_t next_id = 10'000'000;
+      uint64_t seq = epochs.current_seq();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto t0 = std::chrono::steady_clock::now();
+        ReductionOptions sopts;
+        sopts.seed = 27 + seq;
+        DynTopK shadow(live, sopts);
+        for (int u = 0; u < kUpdatesPerPublish; ++u) {
+          if (!live.empty() && rng.Bernoulli(0.5)) {
+            const size_t victim = rng.Below(live.size());
+            shadow.Erase(live[victim]);
+            live[victim] = live.back();
+            live.pop_back();
+          } else {
+            const Point1D e{rng.NextDouble(), rng.NextDouble() * 1e6,
+                            next_id++};
+            shadow.Insert(e);
+            live.push_back(e);
+          }
+        }
+        ++seq;
+        {
+          const std::lock_guard<std::mutex> lock(mu);
+          snapshots[seq] = live;
+        }
+        epochs.Publish(std::move(shadow));
+        const auto t1 = std::chrono::steady_clock::now();
+        publish_ns.fetch_add(static_cast<uint64_t>(
+            std::chrono::nanoseconds(t1 - t0).count()));
+        publishes.fetch_add(1);
+      }
+    });
+
+    serve::Metrics metrics;
+    Engine engine(&epochs, {.num_threads = kThreads}, &metrics);
+    std::vector<Engine::Result> results;
+    engine.QueryBatchInto(requests, &results);  // warm-up
+    bool exact = true;
+    double total_s = 0.0;
+    for (size_t batch = 0; batch < kChurnBatches; ++batch) {
+      const auto t0 = std::chrono::steady_clock::now();
+      engine.QueryBatchInto(requests, &results);
+      const auto t1 = std::chrono::steady_clock::now();
+      total_s += std::chrono::duration<double>(t1 - t0).count();
+      std::vector<Point1D> snap;
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        snap = snapshots.at(engine.last_batch_epoch());
+      }
+      exact = exact && SpotCheck(requests, results, snap);
+    }
+    stop.store(true, std::memory_order_relaxed);
+    writer.join();
+
+    const size_t pubs = publishes.load();
+    const double pub_ms =
+        pubs == 0 ? 0.0
+                  : static_cast<double>(publish_ns.load()) / 1e6 /
+                        static_cast<double>(pubs);
+    // Retirement drains once the last in-flight batch is done.
+    epochs.CollectRetired();
+    exact = exact && epochs.live_epochs() == 1;
+    PrintRow("churn", kChurnBatches,
+             total_s / static_cast<double>(kChurnBatches) * 1e3,
+             metrics.Snapshot(), pubs, pub_ms, exact);
+  }
+}
+
+}  // namespace
+}  // namespace topk
+
+int main() {
+  topk::Run();
+  return 0;
+}

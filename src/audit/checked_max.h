@@ -95,6 +95,17 @@ class CheckedMax {
     inner_.Erase(e);
   }
 
+  // Enumeration passthrough, so audited substrates stay usable where a
+  // reduction (e.g. SampledTopK's converse audit sweep) enumerates its
+  // max structure. Walks the inner structure, not the mirror: the
+  // wrapper must expose exactly what S stores.
+  template <typename F>
+  void ForEach(F&& f) const
+    requires requires(const S& s) { s.ForEach([](const Element&) {}); }
+  {
+    inner_.ForEach(std::forward<F>(f));
+  }
+
  private:
   std::vector<Element> mirror_;  // ground truth for max re-computation
   S inner_;

@@ -101,9 +101,14 @@ class SampledTopK {
   // Audit hook (src/audit/, -DTOPK_AUDIT=ON test sweeps): Theorem 2
   // composition invariants — the K_i ladder exactly matches the
   // K_i = B * Q_max * (1+sigma)^{i-1}, K_i <= n/4 schedule frozen at the
-  // last (re)build, sample sets are genuine subsets, and the membership
-  // index (dynamic instantiations) points at real levels. Aborts via
-  // TOPK_CHECK on violation.
+  // last (re)build, sample sets are genuine subsets, and (dynamic
+  // instantiations) the membership index and the level max structures
+  // describe each other exactly: one entry per live element, per-level
+  // reference counts equal to the level sizes, and — under TOPK_AUDIT,
+  // where Max supports enumeration — no stale element in any level's
+  // max structure without a matching membership record (the converse
+  // direction; a clobbered membership entry is invisible to the
+  // forward checks alone). Aborts via TOPK_CHECK on violation.
   void AuditInvariants() const {
     TOPK_CHECK(pri_.has_value());
     size_t expected_levels = 0;
@@ -117,9 +122,48 @@ class SampledTopK {
       ++expected_levels;
     }
     TOPK_CHECK_EQ(levels_.size(), expected_levels);
-    for (const auto& [id, where] : membership_) {
-      TOPK_CHECK(!where.empty());
-      for (uint32_t j : where) TOPK_CHECK_LT(j, levels_.size());
+    if constexpr (kDynamic) {
+      // Every live element has exactly one membership entry (possibly
+      // pointing at zero levels), and summing the entries level-wise
+      // must reproduce each level's size — a stale element (or a lost
+      // membership record) breaks the balance.
+      TOPK_CHECK_EQ(membership_.size(), n_);
+      std::vector<size_t> refs(levels_.size(), 0);
+      for (const auto& [id, where] : membership_) {
+        for (uint32_t j : where) {
+          TOPK_CHECK_LT(j, levels_.size());
+          ++refs[j];
+        }
+      }
+      for (size_t j = 0; j < levels_.size(); ++j) {
+        TOPK_CHECK_EQ(refs[j], levels_[j].max.size());
+      }
+#ifdef TOPK_AUDIT
+      // Converse sweep (O(n) — audit builds only): each element a level
+      // actually stores is recorded in membership_ for that level,
+      // exactly once.
+      if constexpr (requires(const Max& m) {
+                      m.ForEach([](const Element&) {});
+                    }) {
+        for (uint32_t j = 0; j < static_cast<uint32_t>(levels_.size());
+             ++j) {
+          levels_[j].max.ForEach([this, j](const Element& e) {
+            const auto it = membership_.find(e.id);
+            TOPK_CHECK(it != membership_.end());
+            size_t hits = 0;
+            for (uint32_t w : it->second) {
+              if (w == j) ++hits;
+            }
+            TOPK_CHECK_EQ(hits, size_t{1});
+          });
+        }
+      }
+#endif  // TOPK_AUDIT
+    } else {
+      for (const auto& [id, where] : membership_) {
+        TOPK_CHECK(!where.empty());
+        for (uint32_t j : where) TOPK_CHECK_LT(j, levels_.size());
+      }
     }
   }
 
@@ -224,33 +268,42 @@ class SampledTopK {
       m.Insert(e);
     }
   {
+    if constexpr (kDynamic) {
+      // Register the element in the membership index BEFORE sampling,
+      // and reject a live duplicate: overwriting the existing entry
+      // would orphan its level list, leaving stale (possibly heavier)
+      // elements in those levels' max structures after Erase —
+      // permanent round misses. Ids are element identity (the
+      // (weight, id) total order and Erase-by-id both depend on it), so
+      // re-inserting a live id is a programmer error.
+      const bool inserted = membership_.try_emplace(e.id).second;
+      TOPK_CHECK(inserted);
+    }
     pri_->Insert(e);
     ++n_;
-    std::vector<uint32_t> where;
-    for (uint32_t j = 0; j < levels_.size(); ++j) {
+    for (uint32_t j = 0; j < static_cast<uint32_t>(levels_.size()); ++j) {
       if (rng_.Bernoulli(1.0 / levels_[j].K)) {
         levels_[j].max.Insert(e);
-        where.push_back(j);
+        if constexpr (kDynamic) membership_[e.id].push_back(j);
       }
     }
-    if (!where.empty()) membership_[e.id] = std::move(where);
     MaybeRebuild();
   }
 
+  // Constrained on kDynamic (not just the Erase signatures): membership
+  // is recorded only for dynamic instantiations, so an Erase-only
+  // substrate pair would compile yet silently never remove elements
+  // from the sample levels. The mismatch fails here, at the constraint.
   void Erase(const Element& e)
-    requires requires(Pri& p, Max& m) {
-      p.Erase(e);
-      m.Erase(e);
-    }
+    requires(kDynamic)
   {
     pri_->Erase(e);
     TOPK_CHECK(n_ > 0);
     --n_;
-    auto it = membership_.find(e.id);
-    if (it != membership_.end()) {
-      for (uint32_t j : it->second) levels_[j].max.Erase(e);
-      membership_.erase(it);
-    }
+    const auto it = membership_.find(e.id);
+    TOPK_CHECK(it != membership_.end());  // every live element has one
+    for (uint32_t j : it->second) levels_[j].max.Erase(e);
+    membership_.erase(it);
     MaybeRebuild();
   }
 
@@ -269,6 +322,17 @@ class SampledTopK {
     const double q_max = std::max(
         1.0, Max::QueryCostBound(n_, options_.block_size));
     base_k_ = static_cast<double>(options_.block_size) * q_max;
+
+    if constexpr (kDynamic) {
+      // One membership entry per live element — sampled into zero
+      // levels or not — so Insert can reject a duplicate id even when
+      // the original landed in no sample. Doubles as a duplicate-id
+      // check on the input.
+      for (const Element& e : data) {
+        const bool inserted = membership_.try_emplace(e.id).second;
+        TOPK_CHECK(inserted);
+      }
+    }
 
     std::vector<std::pair<double, std::vector<Element>>> samples;
     for (double K = base_k_;
@@ -332,6 +396,10 @@ class SampledTopK {
   // engaged outside the constructor.
   std::optional<Pri> pri_;
   std::vector<Level> levels_;
+  // Dynamic instantiations: one entry per LIVE element (the value lists
+  // the levels whose sample holds it, possibly none) — completeness is
+  // what lets Insert reject duplicate ids and Erase assert liveness.
+  // Empty for static instantiations.
   std::unordered_map<uint64_t, std::vector<uint32_t>> membership_;
 };
 

@@ -9,6 +9,15 @@
 // the query path is the cursor's fetch_add. After the batch barrier the
 // tallies are merged into an optional serve::Metrics registry.
 //
+// Two sources for the served structure (see the two constructors):
+//   * static mode — a caller-owned const structure, pinned for the
+//     engine's lifetime (the original contract);
+//   * epoch mode — a serve::EpochManager whose writer republishes
+//     mutated snapshots concurrently; each batch pins the then-current
+//     epoch for its whole duration through the manager's lock-free
+//     reader protocol (serve/epoch.h), so serving continues DURING
+//     mutation with no reader-side lock anywhere on the query path.
+//
 // Robustness layer (see serve/result.h for the per-slot contract):
 //   * Admission control — Options::max_batch bounds how many requests
 //     of a batch are admitted; the tail beyond it is shed (kShed)
@@ -50,6 +59,7 @@
 #include "common/scratch.h"
 #include "common/stats.h"
 #include "core/budgeted_query.h"
+#include "serve/epoch.h"
 #include "serve/histogram.h"
 #include "serve/metrics.h"
 #include "serve/result.h"
@@ -104,24 +114,33 @@ class QueryEngine {
         slow_query_ns_(options.slow_query_ns), pool_(options.num_threads),
         tallies_(pool_.num_threads()) {
     TOPK_CHECK(structure_ != nullptr);
-    // One scratch arena per worker, reused across requests AND batches:
-    // after warm-up every pool sits at its high-water mark and the
-    // steady-state query path allocates nothing. unique_ptr: Scratch is
-    // non-movable (handles point back at it).
-    scratches_.reserve(pool_.num_threads());
-    for (size_t t = 0; t < pool_.num_threads(); ++t) {
-      scratches_.push_back(std::make_unique<Scratch>());
-    }
-    if (options.trace_capacity > 0) {
-      tracers_.reserve(pool_.num_threads() + 1);
-      for (size_t t = 0; t < pool_.num_threads() + 1; ++t) {
-        tracers_.push_back(
-            std::make_unique<trace::Tracer>(options.trace_capacity));
-      }
-    }
+    Init(options);
+  }
+
+  // Epoch mode: serve from whatever `epochs` currently publishes while
+  // a writer mutates and republishes concurrently. Each batch pins ONE
+  // epoch for its whole duration (so a batch's answers are mutually
+  // consistent and brute-force checkable against that snapshot), via
+  // the manager's lock-free reader protocol — the query path never
+  // blocks on the writer. `epochs` must outlive the engine, and the
+  // engine's registered slot drains (batch ends) before retired epochs
+  // free.
+  QueryEngine(EpochManager<Structure>* epochs, const Options& options,
+              Metrics* metrics = nullptr)
+      : epochs_(epochs), metrics_(metrics), max_batch_(options.max_batch),
+        slow_query_ns_(options.slow_query_ns), pool_(options.num_threads),
+        tallies_(pool_.num_threads()) {
+    TOPK_CHECK(epochs_ != nullptr);
+    reader_slot_ = epochs_->RegisterReader();
+    Init(options);
   }
 
   size_t num_threads() const { return pool_.num_threads(); }
+
+  // Epoch mode only: the sequence number of the epoch that served the
+  // most recent batch (0 before any batch, or in static mode). Lets a
+  // caller pair each batch's answers with the snapshot they came from.
+  uint64_t last_batch_epoch() const { return last_batch_epoch_; }
 
   // --- tracing (empty/0 unless Options::trace_capacity was set) -------
 
@@ -195,6 +214,18 @@ class QueryEngine {
         max_batch_ == 0 ? requests.size()
                         : (requests.size() < max_batch_ ? requests.size()
                                                         : max_batch_);
+    // Epoch mode: pin ONE epoch for the whole batch. Every request of
+    // the batch answers against the same immutable snapshot, and the
+    // pin (released when this function returns, after the barrier)
+    // keeps the writer from freeing it mid-flight. Static mode serves
+    // the lifetime-pinned structure as before.
+    typename EpochManager<Structure>::Pin pin;
+    const Structure* structure = structure_;
+    if (epochs_ != nullptr) {
+      pin = epochs_->Acquire(reader_slot_);
+      structure = pin.get();
+      last_batch_epoch_ = pin.seq();
+    }
     const uint64_t batch_seq = ++batch_seq_;
     trace::Tracer* coordinator =
         tracers_.empty() ? nullptr : tracers_.back().get();
@@ -206,6 +237,7 @@ class QueryEngine {
       batch_span.Arg("batch", batch_seq);
       batch_span.Arg("requests", requests.size());
       batch_span.Arg("admitted", admitted);
+      if (epochs_ != nullptr) batch_span.Arg("epoch", last_batch_epoch_);
       pool_.RunOnAll([&](size_t worker) {
         MetricsSnapshot& tally = tallies_[worker];
         Scratch* scratch = scratches_[worker].get();
@@ -242,7 +274,7 @@ class QueryEngine {
                     std::chrono::duration_cast<std::chrono::nanoseconds>(
                         start - batch_start)
                         .count()));
-            ServeOne(requests[i], batch_start, scratch, &slot,
+            ServeOne(structure, requests[i], batch_start, scratch, &slot,
                      &tally.stats, tracer);
             tally.stats.results_returned += slot.elements.size();
             request_span.Arg("status",
@@ -284,6 +316,12 @@ class QueryEngine {
   // workload drawn from these requests runs allocation-free (pools are
   // per-element-type, sized to the high-water mark across the set).
   void Warmup(const std::vector<Request>& requests) {
+    typename EpochManager<Structure>::Pin pin;
+    const Structure* structure = structure_;
+    if (epochs_ != nullptr) {
+      pin = epochs_->Acquire(reader_slot_);
+      structure = pin.get();
+    }
     pool_.RunOnAll([&](size_t worker) {
       Scratch* scratch = scratches_[worker].get();
       Result slot;
@@ -291,7 +329,7 @@ class QueryEngine {
       const auto start = Clock::now();
       for (const Request& r : requests) {
         slot.elements.clear();
-        ServeOne(r, start, scratch, &slot, &stats, nullptr);
+        ServeOne(structure, r, start, scratch, &slot, &stats, nullptr);
       }
     });
   }
@@ -299,8 +337,27 @@ class QueryEngine {
  private:
   using Clock = std::chrono::steady_clock;
 
-  void ServeOne(const Request& r, Clock::time_point batch_start,
-                Scratch* scratch, Result* slot, QueryStats* stats,
+  void Init(const Options& options) {
+    // One scratch arena per worker, reused across requests AND batches:
+    // after warm-up every pool sits at its high-water mark and the
+    // steady-state query path allocates nothing. unique_ptr: Scratch is
+    // non-movable (handles point back at it).
+    scratches_.reserve(pool_.num_threads());
+    for (size_t t = 0; t < pool_.num_threads(); ++t) {
+      scratches_.push_back(std::make_unique<Scratch>());
+    }
+    if (options.trace_capacity > 0) {
+      tracers_.reserve(pool_.num_threads() + 1);
+      for (size_t t = 0; t < pool_.num_threads() + 1; ++t) {
+        tracers_.push_back(
+            std::make_unique<trace::Tracer>(options.trace_capacity));
+      }
+    }
+  }
+
+  void ServeOne(const Structure* structure, const Request& r,
+                Clock::time_point batch_start, Scratch* scratch,
+                Result* slot, QueryStats* stats,
                 trace::Tracer* tracer) const {
     trace::Span span(tracer, "exec", stats);
     const bool has_deadline = r.deadline_ns > 0;
@@ -312,8 +369,8 @@ class QueryEngine {
       return;
     }
     if (r.cost_budget == 0 && !has_deadline) {
-      StructureQueryInto(r.predicate, r.k, scratch, &slot->elements,
-                         stats, tracer);
+      StructureQueryInto(structure, r.predicate, r.k, scratch,
+                         &slot->elements, stats, tracer);
       slot->status = ResultStatus::kOk;
       return;
     }
@@ -339,7 +396,7 @@ class QueryEngine {
       return false;
     };
     const BudgetedRun run =
-        BudgetedTopKInto(*structure_, r.predicate, r.k, should_stop,
+        BudgetedTopKInto(*structure, r.predicate, r.k, should_stop,
                          scratch, &slot->elements, stats, tracer);
     slot->status = run.complete ? ResultStatus::kOk : stop_reason;
   }
@@ -347,29 +404,35 @@ class QueryEngine {
   // The ShareableTopKStructure concept only guarantees Query(q, k,
   // stats); prefer the scratch-threaded QueryInto when the structure
   // has one, and pass the tracer through when it is accepted.
-  void StructureQueryInto(const Predicate& q, size_t k, Scratch* scratch,
+  void StructureQueryInto(const Structure* structure, const Predicate& q,
+                          size_t k, Scratch* scratch,
                           std::vector<Element>* out, QueryStats* stats,
                           trace::Tracer* tracer) const {
     if constexpr (requires {
-                    structure_->QueryInto(q, k, scratch, out, stats,
-                                          tracer);
+                    structure->QueryInto(q, k, scratch, out, stats,
+                                         tracer);
                   }) {
-      structure_->QueryInto(q, k, scratch, out, stats, tracer);
+      structure->QueryInto(q, k, scratch, out, stats, tracer);
     } else if constexpr (requires {
-                           structure_->QueryInto(q, k, scratch, out,
-                                                 stats);
+                           structure->QueryInto(q, k, scratch, out,
+                                                stats);
                          }) {
-      structure_->QueryInto(q, k, scratch, out, stats);
+      structure->QueryInto(q, k, scratch, out, stats);
     } else if constexpr (requires {
-                           structure_->Query(q, k, stats, tracer);
+                           structure->Query(q, k, stats, tracer);
                          }) {
-      *out = structure_->Query(q, k, stats, tracer);
+      *out = structure->Query(q, k, stats, tracer);
     } else {
-      *out = structure_->Query(q, k, stats);
+      *out = structure->Query(q, k, stats);
     }
   }
 
-  const Structure* structure_;
+  // Exactly one of structure_ (static mode, lifetime-pinned) and
+  // epochs_ (epoch mode, pinned per batch) is non-null.
+  const Structure* structure_ = nullptr;
+  EpochManager<Structure>* epochs_ = nullptr;
+  size_t reader_slot_ = 0;
+  uint64_t last_batch_epoch_ = 0;
   Metrics* metrics_;
   size_t max_batch_;
   uint64_t slow_query_ns_;

@@ -30,6 +30,7 @@
 #include "range1d/pst.h"
 #include "range1d/range_max.h"
 #include "serve/engine.h"
+#include "serve/epoch.h"
 #include "test_util.h"
 
 #if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
@@ -222,6 +223,66 @@ TEST(AllocRegression, CountingTopKZeroSteadyStateAllocs) {
   Counting s(Data());
   ExpectZeroAllocSteadyState(s);
   ExpectZeroAllocSteadyStateThreaded(s);
+}
+
+// Epoch-pinned query path (PR's serve-during-mutation mode): acquiring
+// the per-batch epoch pin is a slot store + pointer compare — no
+// allocation — so the steady state stays at zero allocs/request, even
+// straddling a Publish (writer-side allocation happens outside the
+// measured window; the engine's arenas stay warm across the swap
+// because the republished structure serves the same workload).
+TEST(AllocRegression, EpochPinnedPathZeroSteadyStateAllocs) {
+  TOPK_SKIP_UNDER_SANITIZERS();
+  serve::EpochManager<Thm2> epochs{Thm2(Data())};
+  using Engine = serve::QueryEngine<Thm2>;
+  Engine::Options options;
+  options.num_threads = 1;
+  Engine engine(&epochs, options);
+
+  Rng rng(555);
+  std::vector<Engine::Request> requests;
+  for (size_t i = 0; i < 24; ++i) {
+    double lo = rng.NextDouble();
+    double hi = rng.NextDouble();
+    if (lo > hi) std::swap(lo, hi);
+    Engine::Request r;
+    r.predicate = Range1D{lo, hi};
+    r.k = 1 + i * 7 % 60;
+    requests.push_back(r);
+  }
+
+  std::vector<Engine::Result> results;
+  for (int warm = 0; warm < 3; ++warm) {
+    engine.QueryBatchInto(requests, &results);
+  }
+
+  uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int it = 0; it < 5; ++it) {
+    engine.QueryBatchInto(requests, &results);
+  }
+  uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(allocs, 0u) << "epoch-pinned steady state allocated";
+  EXPECT_EQ(engine.last_batch_epoch(), 1u);
+
+  // Rotate the epoch (unmeasured — the writer side allocates by
+  // design), re-warm once, and the pinned path must be zero again.
+  epochs.Publish(Thm2(Data()));
+  engine.QueryBatchInto(requests, &results);
+  before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int it = 0; it < 5; ++it) {
+    engine.QueryBatchInto(requests, &results);
+  }
+  allocs = g_alloc_count.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(allocs, 0u) << "post-publish steady state allocated";
+  EXPECT_EQ(engine.last_batch_epoch(), 2u);
+
+  const std::vector<Point1D> data = Data();
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(test::IdsOf(results[i].elements),
+              test::IdsOf(test::BruteTopK<Range1DProblem>(
+                  data, requests[i].predicate, requests[i].k)))
+        << "request " << i;
+  }
 }
 
 // The compatibility Query() overloads own a throwaway Scratch — they

@@ -1,0 +1,30 @@
+// Lint self-test fixture (linted, never compiled): the epoch rule must
+// flag the bare non-atomic member of the epoch-published type below,
+// and honor the `// epoch:` posture comment, the std::atomic
+// exemption, and the one-line suppression. The unmarked type at the
+// bottom must not be scanned at all.
+
+#ifndef TOPK_EPOCHY_H_
+#define TOPK_EPOCHY_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace topk {
+
+// epoch-published
+struct BadEpoch {
+  uint64_t seq = 0;  // no posture comment: must be flagged
+  uint64_t documented = 0;  // epoch: written once before publish
+  std::atomic<uint64_t> counter{0};
+  uint64_t justified = 0;  // lint: epoch-ok fixture suppression
+  uint64_t Seq() const { return seq; }
+};
+
+struct NotPublished {
+  uint64_t bare_but_private_to_one_thread = 0;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_EPOCHY_H_

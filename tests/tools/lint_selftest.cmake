@@ -12,8 +12,11 @@
 # one suppressed via `// lint: tracer-ok` (must not be); for the
 # function rule: one bare std::function member under a core/ directory
 # (must be flagged) and one suppressed via `// lint: function-ok` (must
-# not be). Exactly three findings total — a fourth means a suppression
-# or sanction regressed; fewer means a rule stopped firing.
+# not be); for the epoch rule: one bare non-atomic member of an
+# epoch-published type (must be flagged), plus an `// epoch:`-annotated
+# member, a std::atomic member, a suppressed member, and an unmarked
+# type (none flagged). Exactly four findings total — a fifth means a
+# suppression or sanction regressed; fewer means a rule stopped firing.
 
 foreach(var PYTHON SCRIPT FIXTURE)
   if(NOT DEFINED ${var})
@@ -43,10 +46,15 @@ if(NOT out MATCHES "funky\\.h:14: \\[function\\]")
   message(FATAL_ERROR "missing the expected [function] finding at "
                       "core/funky.h:14\nstdout: ${out}\nstderr: ${err}")
 endif()
-if(NOT err MATCHES "3 finding")
-  message(FATAL_ERROR "expected exactly 3 findings (a suppression or "
+if(NOT out MATCHES "epochy\\.h:17: \\[epoch\\]")
+  message(FATAL_ERROR "missing the expected [epoch] finding at "
+                      "epochy.h:17\nstdout: ${out}\nstderr: ${err}")
+endif()
+if(NOT err MATCHES "4 finding")
+  message(FATAL_ERROR "expected exactly 4 findings (a suppression or "
                       "sanction regressed)\nstdout: ${out}\n"
                       "stderr: ${err}")
 endif()
 
-message(STATUS "lint.py: sleep/tracer/function rule self-test passed")
+message(STATUS
+        "lint.py: sleep/tracer/function/epoch rule self-test passed")

@@ -46,6 +46,15 @@ Checks (see CLAUDE.md conventions):
                topk::FunctionRef (common/function_ref.h) for borrowed
                ones. Suppress a justified use with
                `// lint: function-ok <reason>`.
+  epoch        a type marked `// epoch-published` (the unit of
+               publication in serve/epoch.h's epoch/snapshot rotation)
+               is shared const across reader threads while a writer
+               retires and frees instances; every non-atomic data
+               member must therefore declare its thread-safety posture
+               with a `// epoch:` comment on the declaration line (who
+               writes it, when it becomes immutable). std::atomic
+               members are exempt. Suppress a justified bare member
+               with `// lint: epoch-ok <reason>`.
 
 A finding prints `path:line: [rule] message`; exit status is the number
 of findings (0 = clean). Suppress any rule on one line with
@@ -57,7 +66,7 @@ import sys
 from pathlib import Path
 
 RULES = ("guard", "namespace", "assert", "random", "mutable", "sleep",
-         "tracer", "function")
+         "tracer", "function", "epoch")
 
 RANDOM_RE = re.compile(
     r"(?<![\w:])(rand|srand)\s*\(|std::mt19937|std::random_device"
@@ -68,6 +77,13 @@ THREAD_SAFE_TYPES_RE = re.compile(r"std::(mutex|shared_mutex|atomic)")
 SLEEP_RE = re.compile(r"\bsleep_(for|until)\s*\(")
 TRACER_DEREF_RE = re.compile(r"\b\w*[Tt]racer\w*\s*->")
 FUNCTION_RE = re.compile(r"\bstd::function\s*<")
+# Lines inside an epoch-published type that are NOT member declarations
+# needing an `// epoch:` posture: functions/ctors (anything with parens
+# is skipped separately), type aliases, static members, access
+# specifiers, nested type heads, and friend declarations.
+EPOCH_NONMEMBER_RE = re.compile(
+    r"^\s*(using\s|typedef\s|static\s|friend\s|public:|private:|"
+    r"protected:|struct\s|class\s|enum\s|template\s*<)")
 
 
 def sleep_sanctioned(path: Path) -> bool:
@@ -126,6 +142,11 @@ def check_file(path: Path, root: Path, findings: list) -> None:
     declares_posture = ("kThreadSafeQuery" in text
                         or "kExternalMemory" in text)
     in_block_comment = False
+    # epoch rule state: brace depth inside the most recent type marked
+    # `// epoch-published` (-1 = not inside one; the marker arms
+    # epoch_pending until the type's opening brace is seen).
+    epoch_depth = -1
+    epoch_pending = False
     for i, ln in enumerate(lines, 1):
         code = ln
         if in_block_comment:
@@ -138,6 +159,32 @@ def check_file(path: Path, root: Path, findings: list) -> None:
         if "/*" in code:
             code = code.split("/*", 1)[0]
             in_block_comment = "*/" not in ln.split("/*", 1)[1]
+
+        # The marker must be a dedicated comment line (prose that merely
+        # mentions the phrase must not arm the rule on the next brace).
+        if epoch_depth < 0 and ln.strip().startswith("// epoch-published"):
+            epoch_pending = True
+        opens, closes = code.count("{"), code.count("}")
+        if epoch_depth >= 0 or (epoch_pending and opens):
+            if epoch_pending:
+                epoch_depth = 0
+                epoch_pending = False
+            stripped = code.strip()
+            if (epoch_depth == 1 and opens == 0 and closes == 0
+                    and stripped.endswith(";") and "(" not in stripped
+                    and not EPOCH_NONMEMBER_RE.match(stripped)
+                    and "std::atomic" not in stripped
+                    and "// epoch:" not in ln):
+                report(i, "epoch",
+                       "member of an epoch-published type without a "
+                       "thread-safety posture: non-atomic state shared "
+                       "const across reader threads needs an "
+                       "`// epoch: <who writes it, when immutable>` "
+                       "comment (or `// lint: epoch-ok <reason>`)")
+            epoch_depth += opens - closes
+            if epoch_depth <= 0:
+                epoch_depth = -1
+
         if not code.strip():
             continue
 
