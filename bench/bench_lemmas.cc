@@ -14,9 +14,9 @@
 #include "bench_common.h"
 #include "common/random.h"
 #include "common/stats.h"
+#include "common/weighted.h"
 #include "core/core_set_topk.h"
 #include "core/rank_sampling.h"
-#include "core/weighted.h"
 #include "range1d/point1d.h"
 #include "range1d/pst.h"
 

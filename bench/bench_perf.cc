@@ -33,11 +33,11 @@
 #include "common/random.h"
 #include "common/scratch.h"
 #include "common/stats.h"
+#include "common/weighted.h"
 #include "core/binary_search_topk.h"
 #include "core/core_set_topk.h"
 #include "core/counting_topk.h"
 #include "core/sampled_topk.h"
-#include "core/weighted.h"
 #include "range1d/count_tree.h"
 #include "range1d/point1d.h"
 #include "range1d/pst.h"

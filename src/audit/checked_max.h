@@ -27,8 +27,8 @@
 
 #include "common/check.h"
 #include "common/stats.h"
+#include "common/weighted.h"
 #include "core/problem.h"
-#include "core/weighted.h"
 
 namespace topk::audit {
 

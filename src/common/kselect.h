@@ -26,7 +26,7 @@
 #include <vector>
 
 #include "common/scratch.h"
-#include "core/weighted.h"
+#include "common/weighted.h"
 
 namespace topk {
 

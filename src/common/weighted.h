@@ -10,8 +10,8 @@
 //   double   weight;
 //   uint64_t id;
 
-#ifndef TOPK_CORE_WEIGHTED_H_
-#define TOPK_CORE_WEIGHTED_H_
+#ifndef TOPK_COMMON_WEIGHTED_H_
+#define TOPK_COMMON_WEIGHTED_H_
 
 #include <cstdint>
 
@@ -44,4 +44,4 @@ inline bool MeetsThreshold(const E& e, double tau) {
 
 }  // namespace topk
 
-#endif  // TOPK_CORE_WEIGHTED_H_
+#endif  // TOPK_COMMON_WEIGHTED_H_

@@ -18,8 +18,8 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/weighted.h"
 #include "core/problem.h"
-#include "core/weighted.h"
 #include "trace/tracer.h"
 
 namespace topk {

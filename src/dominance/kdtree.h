@@ -39,7 +39,7 @@
 #include <vector>
 
 #include "common/stats.h"
-#include "core/weighted.h"
+#include "common/weighted.h"
 
 namespace topk::dominance {
 

@@ -28,7 +28,7 @@
 
 #include "common/check.h"
 #include "common/stats.h"
-#include "core/weighted.h"
+#include "common/weighted.h"
 #include "em/buffer_pool.h"
 
 namespace topk::em {

@@ -29,7 +29,7 @@
 
 #include "common/check.h"
 #include "common/stats.h"
-#include "core/weighted.h"
+#include "common/weighted.h"
 #include "em/paged_array.h"
 #include "range1d/point1d.h"
 

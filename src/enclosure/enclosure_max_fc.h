@@ -22,7 +22,7 @@
 
 #include "common/cascade.h"
 #include "common/stats.h"
-#include "core/weighted.h"
+#include "common/weighted.h"
 #include "enclosure/enclosure_structures.h"
 #include "enclosure/rect.h"
 #include "interval/stab_max.h"

@@ -33,7 +33,7 @@
 #include <vector>
 
 #include "common/stats.h"
-#include "core/weighted.h"
+#include "common/weighted.h"
 #include "enclosure/rect.h"
 #include "interval/interval_tree_stab.h"
 #include "interval/stab_max.h"

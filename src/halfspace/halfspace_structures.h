@@ -29,7 +29,7 @@
 #include <vector>
 
 #include "common/stats.h"
-#include "core/weighted.h"
+#include "common/weighted.h"
 #include "halfspace/convex.h"
 #include "halfspace/convex_layers.h"
 #include "halfspace/point2.h"

@@ -29,7 +29,7 @@
 #include <vector>
 
 #include "common/stats.h"
-#include "core/weighted.h"
+#include "common/weighted.h"
 #include "interval/interval.h"
 
 namespace topk::interval {

@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "common/stats.h"
-#include "core/weighted.h"
+#include "common/weighted.h"
 #include "interval/interval.h"
 #include "interval/seg_stab.h"
 

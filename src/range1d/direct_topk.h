@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "common/stats.h"
-#include "core/weighted.h"
+#include "common/weighted.h"
 #include "range1d/point1d.h"
 #include "range1d/pst.h"
 

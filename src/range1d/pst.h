@@ -23,7 +23,7 @@
 
 #include "common/check.h"
 #include "common/stats.h"
-#include "core/weighted.h"
+#include "common/weighted.h"
 #include "range1d/point1d.h"
 
 namespace topk::range1d {

@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "common/stats.h"
-#include "core/weighted.h"
+#include "common/weighted.h"
 #include "range1d/point1d.h"
 
 namespace topk::range1d {

@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
-#include "core/weighted.h"
+#include "common/weighted.h"
 #include "range1d/point1d.h"
 #include "test_util.h"
 

@@ -10,8 +10,8 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "common/weighted.h"
 #include "core/core_set.h"
-#include "core/weighted.h"
 #include "range1d/point1d.h"
 #include "test_util.h"
 

@@ -14,7 +14,7 @@
 #include "audit/checked_prioritized.h"
 #include "common/kselect.h"
 #include "common/random.h"
-#include "core/weighted.h"
+#include "common/weighted.h"
 #include "range1d/point1d.h"
 
 namespace topk::test {

@@ -1,0 +1,10 @@
+// Clean common-module header: no findings expected.
+
+namespace topk {
+
+struct SabPoint {
+  double weight = 0.0;
+  unsigned long long id = 0;
+};
+
+}  // namespace topk

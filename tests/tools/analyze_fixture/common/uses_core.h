@@ -1,0 +1,10 @@
+// Layering sabotage: common is the bottom layer and may not include
+// core. analyze.py must flag the include below as an upward edge.
+
+#include "core/hot.h"
+
+namespace topk {
+
+inline int SabUsesCore() { return 0; }
+
+}  // namespace topk

@@ -1,0 +1,43 @@
+// The two-class posture hole, demonstrably open in tools/lint.py and
+// closed by tools/analyze.py: lint's `mutable` rule is file-scoped, so
+// the kThreadSafeQuery marker on SabSafeOuter makes the WHOLE file pass
+// — including SabCacheyInner's unmarked mutable query state, which
+// serve::ShareableTopKStructure (a per-class check) would happily share
+// across worker threads. tests/tools/analyze_selftest.cmake runs BOTH
+// tools over this header and asserts lint exits clean while analyze
+// reports the [posture] finding.
+//
+// This header is lint-conformant on purpose (guard, namespace, no bare
+// assert): the point is that lint has no rule violation to see here.
+
+#ifndef TOPK_TWO_CLASS_H_
+#define TOPK_TWO_CLASS_H_
+
+#include <cstdint>
+
+namespace topk {
+
+class SabCacheyInner {
+ public:
+  uint64_t Lookup(uint64_t key) const {
+    last_key_ = key;  // hidden query-time mutation under const
+    return last_key_;
+  }
+
+ private:
+  mutable uint64_t last_key_ = 0;
+};
+
+class SabSafeOuter {
+ public:
+  static constexpr bool kThreadSafeQuery = false;
+
+  uint64_t Probe(uint64_t key) const { return inner_.Lookup(key); }
+
+ private:
+  SabCacheyInner inner_;
+};
+
+}  // namespace topk
+
+#endif  // TOPK_TWO_CLASS_H_

@@ -1,0 +1,10 @@
+// Include-cycle sabotage, half 1: same-module includes are layering-
+// legal, but the a -> b -> a cycle must be flagged once.
+
+#include "em/cycle_b.h"
+
+namespace topk {
+
+inline int SabCycleA() { return 0; }
+
+}  // namespace topk

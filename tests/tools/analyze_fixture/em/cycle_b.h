@@ -1,0 +1,9 @@
+// Include-cycle sabotage, half 2 (see cycle_a.h).
+
+#include "em/cycle_a.h"
+
+namespace topk {
+
+inline int SabCycleB() { return 0; }
+
+}  // namespace topk

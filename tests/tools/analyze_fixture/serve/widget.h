@@ -1,0 +1,11 @@
+// Clean serve-module header (serve may include common).
+
+#include "common/ok.h"
+
+namespace topk::serve {
+
+struct SabWidget {
+  SabPoint p;
+};
+
+}  // namespace topk::serve

@@ -1,0 +1,18 @@
+// Regression fixture for single-file invocation: this header is fully
+// lint-clean, and its guard is what BOTH invocation styles must derive
+// — `lint.py <fixture-dir>` (rel src/core/cleanly.h, SRC stripped) and
+// `lint.py .../src/core/cleanly.h` (root = the nearest `src` ancestor).
+// Before the file_root() fix, the single-file form fell back to
+// Path(".") and expected a guard derived from the full invocation path,
+// flagging this clean header.
+
+#ifndef TOPK_CORE_CLEANLY_H_
+#define TOPK_CORE_CLEANLY_H_
+
+namespace topk {
+
+inline int Cleanly() { return 7; }
+
+}  // namespace topk
+
+#endif  // TOPK_CORE_CLEANLY_H_

@@ -56,5 +56,22 @@ if(NOT err MATCHES "4 finding")
                       "stderr: ${err}")
 endif()
 
+# Single-file invocation regression: passing a clean header directly
+# (not via its directory) must derive the same guard as the directory
+# sweep. Before the file_root() fix, the root fell back to Path(".") and
+# the guard was derived from the full invocation path, flagging clean
+# headers with a spurious prefix.
+execute_process(
+  COMMAND ${PYTHON} ${SCRIPT} ${FIXTURE}/src/core/cleanly.h
+  RESULT_VARIABLE single_rc
+  OUTPUT_VARIABLE single_out
+  ERROR_VARIABLE single_err)
+if(NOT single_rc EQUAL 0)
+  message(FATAL_ERROR "single-file invocation flagged a clean header "
+                      "(guard root derivation regressed)\n"
+                      "stdout: ${single_out}\nstderr: ${single_err}")
+endif()
+
 message(STATUS
-        "lint.py: sleep/tracer/function/epoch rule self-test passed")
+        "lint.py: sleep/tracer/function/epoch + single-file self-test "
+        "passed")

@@ -101,6 +101,7 @@ def suppressed(line: str, rule: str) -> bool:
 
 
 def expected_guard(path: Path, root: Path) -> str:
+    path, root = path.resolve(), root.resolve()
     rel = path.relative_to(root) if path.is_relative_to(root) else path
     parts = [p.upper() for p in rel.with_suffix("").parts]
     if parts and parts[0] == "SRC":
@@ -223,23 +224,38 @@ def check_file(path: Path, root: Path, findings: list) -> None:
                        "annotate `// lint: mutable-ok <reason>`")
 
 
+def file_root(path: Path) -> Path:
+    """Guard-derivation root for a file passed directly on the command
+    line: the nearest ancestor directory named `src` (so
+    `lint.py /abs/path/src/core/sink.h` expects TOPK_CORE_SINK_H_, the
+    same guard the directory sweep expects), falling back to the file's
+    parent. The old behavior fell back to Path(".") and derived guards
+    from the full invocation path — a clean header linted singly got a
+    spurious prefix and a bogus [guard] finding."""
+    for ancestor in path.resolve().parents:
+        if ancestor.name == "src":
+            return ancestor
+    return path.parent
+
+
 def main(argv: list) -> int:
     if not argv:
         print("usage: lint.py <dir-or-file>...", file=sys.stderr)
         return 2
-    files = []
+    files = []  # (path, guard root) — the root travels per file, so a
+    #             mixed dir+file invocation derives every guard locally.
     for arg in argv:
         p = Path(arg)
         if p.is_dir():
-            files += sorted(p.rglob("*.h")) + sorted(p.rglob("*.cc"))
+            files += [(f, p) for f in
+                      sorted(p.rglob("*.h")) + sorted(p.rglob("*.cc"))]
         elif p.exists():
-            files.append(p)
+            files.append((p, file_root(p)))
         else:
             print(f"lint.py: no such path: {p}", file=sys.stderr)
             return 2
-    root = Path(argv[0]) if Path(argv[0]).is_dir() else Path(".")
     findings = []
-    for f in files:
+    for f, root in files:
         check_file(f, root, findings)
     for f in findings:
         print(f)
