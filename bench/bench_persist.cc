@@ -1,0 +1,219 @@
+// E26 — durable persistence: (a) the substitution rule — the same
+// workload driven over the in-memory simulator, over FileBlockDevice
+// backed by MemStorage, and over FileBlockDevice backed by a real file
+// must charge IDENTICAL I/O counts (the file backend is a drop-in
+// under the accounting, so simulator-pinned tests transfer); (b) the
+// cold-start claim — reopening a checkpointed EM structure from its
+// manifest costs a handful of meta-blob reads instead of the full
+// rebuild's write storm, and answers queries immediately.
+//
+// This table deliberately times construction/reopen (that IS the
+// experiment, as in bench_build); query benches elsewhere never do.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/check.h"
+#include "common/random.h"
+#include "core/sink.h"
+#include "em/block_device.h"
+#include "em/buffer_pool.h"
+#include "em/checkpoint.h"
+#include "em/em_range1d.h"
+#include "em/file_block_device.h"
+#include "em/storage.h"
+#include "range1d/point1d.h"
+
+namespace topk {
+namespace {
+
+using em::BlockDevice;
+using em::BufferPool;
+using em::EmRange1dPrioritized;
+using em::FileBlockDevice;
+using em::FileStorage;
+using em::ManifestStore;
+using em::MemStorage;
+using range1d::Point1D;
+using range1d::Range1D;
+
+constexpr size_t kPageBytes = 4096;
+constexpr size_t kFrames = 64;
+constexpr size_t kQueries = 16;
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+std::string TempPath(const char* suffix) {
+  return "/tmp/topk_bench_persist." + std::to_string(::getpid()) + "." +
+         suffix;
+}
+
+struct Counts {
+  uint64_t reads = 0, writes = 0;
+};
+
+// Build + FlushAll + a fixed query schedule on an arbitrary device;
+// returns (reads, writes) and the total number of emitted elements so
+// the three backends can be cross-checked for identical behavior, not
+// just identical counters.
+Counts RunWorkload(BlockDevice* dev, size_t n, uint64_t* emitted) {
+  BufferPool pool(dev, kFrames);
+  std::vector<Point1D> data = bench::Points1D(n, 7);
+  EmRange1dPrioritized pri(&pool, std::move(data));
+  pool.FlushAll();
+  const double tau = (1.0 - 1000.0 / static_cast<double>(n)) * 1e6;
+  Rng rng(11);
+  *emitted = 0;
+  for (size_t i = 0; i < kQueries; ++i) {
+    double a = rng.NextDouble(), b = rng.NextDouble();
+    if (a > b) std::swap(a, b);
+    IssuePrioritized(pri, Range1D{a, b}, tau,
+                     [emitted](const Point1D&) {
+                       ++*emitted;
+                       return true;
+                     },
+                     nullptr);
+  }
+  return {dev->counters().reads, dev->counters().writes};
+}
+
+void SubstitutionTable(size_t n) {
+  std::printf(
+      "\nSubstitution rule: one workload (build n=%zu + FlushAll + %zu\n"
+      "prioritized queries), three backends, page=%zuB, M=%zu frames.\n",
+      n, kQueries, kPageBytes, kFrames);
+  std::printf("%-28s %10s %10s %12s\n", "backend", "reads", "writes",
+              "emitted");
+
+  uint64_t emitted_sim = 0, emitted_mem = 0, emitted_file = 0;
+  BlockDevice sim(kPageBytes);
+  const Counts c_sim = RunWorkload(&sim, n, &emitted_sim);
+  std::printf("%-28s %10llu %10llu %12llu\n", "simulator (predicted)",
+              static_cast<unsigned long long>(c_sim.reads),
+              static_cast<unsigned long long>(c_sim.writes),
+              static_cast<unsigned long long>(emitted_sim));
+
+  MemStorage mem;
+  FileBlockDevice dev_mem(&mem, kPageBytes);
+  const Counts c_mem = RunWorkload(&dev_mem, n, &emitted_mem);
+  std::printf("%-28s %10llu %10llu %12llu\n", "file-device / MemStorage",
+              static_cast<unsigned long long>(c_mem.reads),
+              static_cast<unsigned long long>(c_mem.writes),
+              static_cast<unsigned long long>(emitted_mem));
+
+  const std::string path = TempPath("subst.bin");
+  std::remove(path.c_str());
+  Counts c_file;
+  {
+    FileStorage file(path);
+    FileBlockDevice dev_file(&file, kPageBytes);
+    c_file = RunWorkload(&dev_file, n, &emitted_file);
+  }
+  std::remove(path.c_str());
+  std::printf("%-28s %10llu %10llu %12llu  (measured)\n",
+              "file-device / FileStorage",
+              static_cast<unsigned long long>(c_file.reads),
+              static_cast<unsigned long long>(c_file.writes),
+              static_cast<unsigned long long>(emitted_file));
+
+  const bool match = c_sim.reads == c_mem.reads &&
+                     c_sim.writes == c_mem.writes &&
+                     c_sim.reads == c_file.reads &&
+                     c_sim.writes == c_file.writes &&
+                     emitted_sim == emitted_mem &&
+                     emitted_sim == emitted_file;
+  std::printf("substitution: %s\n",
+              match ? "EXACT (all three backends identical)"
+                    : "MISMATCH — accounting drift, investigate");
+}
+
+void ColdStartRow(size_t n) {
+  const std::string dev_path = TempPath("pages.bin");
+  const std::string man_path = TempPath("manifest.bin");
+  std::remove(dev_path.c_str());
+  std::remove(man_path.c_str());
+
+  uint64_t build_writes = 0, built_size = 0;
+  double build_s = 0, reopen_s = 0;
+  {
+    FileStorage file(dev_path);
+    FileBlockDevice dev(&file, kPageBytes);
+    BufferPool pool(&dev, kFrames);
+    FileStorage man_file(man_path);
+    ManifestStore manifests(&man_file);
+    std::vector<Point1D> data = bench::Points1D(n, 7);
+    const auto start = std::chrono::steady_clock::now();
+    EmRange1dPrioritized pri(&pool, std::move(data));
+    pool.FlushAll();
+    const bool saved = em::SaveStructure(&dev, pri, &manifests, &file);
+    build_s = Seconds(start);
+    TOPK_CHECK(saved);
+    build_writes = dev.counters().writes;
+    built_size = pri.size();
+  }
+
+  uint64_t reopen_reads = 0, reopen_writes = 0, reopened_size = 0;
+  {
+    FileStorage file(dev_path);
+    FileBlockDevice dev(&file, kPageBytes);
+    BufferPool pool(&dev, kFrames);
+    FileStorage man_file(man_path);
+    ManifestStore manifests(&man_file);
+    EmRange1dPrioritized pri;
+    const auto start = std::chrono::steady_clock::now();
+    const bool loaded = em::LoadStructure(&pool, &manifests, &pri);
+    reopen_s = Seconds(start);
+    TOPK_CHECK(loaded);
+    reopen_reads = dev.counters().reads;
+    reopen_writes = dev.counters().writes;
+    reopened_size = pri.size();
+  }
+  TOPK_CHECK_EQ(built_size, reopened_size);
+  std::remove(dev_path.c_str());
+  std::remove(man_path.c_str());
+
+  std::printf("%10zu %14llu %12.1f %14llu %14llu %12.2f\n", n,
+              static_cast<unsigned long long>(build_writes),
+              build_s * 1e3,
+              static_cast<unsigned long long>(reopen_reads),
+              static_cast<unsigned long long>(reopen_writes),
+              reopen_s * 1e3);
+}
+
+void Run() {
+  std::printf(
+      "E26: durable persistence — backend substitution and checkpoint\n"
+      "cold start (EmRange1dPrioritized over a real file).\n");
+  SubstitutionTable(1 << 14);
+
+  std::printf(
+      "\nCold start: build+checkpoint once, then reopen from the manifest\n"
+      "(meta blob only; content pages are re-adopted by id, no rebuild).\n");
+  std::printf("%10s %14s %12s %14s %14s %12s\n", "n", "build-writes",
+              "build-ms", "reopen-reads", "reopen-writes", "reopen-ms");
+  for (const size_t n : {size_t{1} << 13, size_t{1} << 15, size_t{1} << 17}) {
+    ColdStartRow(n);
+  }
+  std::printf(
+      "\nExpected shape: reopen charges ZERO writes and a few reads (the\n"
+      "meta blob) regardless of n, orders of magnitude under the build's\n"
+      "write storm; reopen wall time is file-open + meta parse, not a\n"
+      "rebuild.\n");
+}
+
+}  // namespace
+}  // namespace topk
+
+int main() {
+  topk::Run();
+  return 0;
+}

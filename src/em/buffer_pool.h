@@ -134,7 +134,10 @@ class BufferPool {
   trace::Tracer* tracer_ = nullptr;  // not owned; may be null
 };
 
-// RAII pin.
+// RAII pin. PageRef::Fresh is the RAII form of PinFresh, with the same
+// accounting contract (no read charge; the page must not be resident) —
+// build paths use it instead of hand-rolled PinFresh/Unpin pairs so an
+// early return can never leak a pin.
 class PageRef {
  public:
   PageRef(BufferPool* pool, uint64_t page_id, bool mark_dirty = false)
@@ -142,12 +145,20 @@ class PageRef {
         data_(pool->Pin(page_id, mark_dirty)) {}
   ~PageRef() { pool_->Unpin(page_id_); }
 
+  static PageRef Fresh(BufferPool* pool, uint64_t page_id) {
+    return PageRef(pool, page_id, FreshTag{});
+  }
+
   PageRef(const PageRef&) = delete;
   PageRef& operator=(const PageRef&) = delete;
 
   uint8_t* data() const { return data_; }
 
  private:
+  struct FreshTag {};
+  PageRef(BufferPool* pool, uint64_t page_id, FreshTag)
+      : pool_(pool), page_id_(page_id), data_(pool->PinFresh(page_id)) {}
+
   BufferPool* pool_;
   uint64_t page_id_;
   uint8_t* data_;

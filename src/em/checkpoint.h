@@ -1,0 +1,318 @@
+// Checkpoint manifests: durable, atomically-switched descriptions of
+// page-serialized build artifacts.
+//
+// A checkpoint consists of (a) content pages on the block device — a
+// payload blob (e.g. the DurableStore's element image) and/or a meta
+// blob (a structure's SaveMeta serialization: page-id tables, sizes) —
+// and (b) one fixed-size manifest record naming those pages with their
+// byte lengths and CRCs, the format version, and the WAL sequence
+// number the checkpoint covers.
+//
+// Atomicity is dual-slot: the manifest storage holds two fixed-size
+// slots, each [u32 crc][record]; Commit writes the slot NOT holding
+// the current best generation and syncs, Load picks the valid slot
+// with the highest generation. A crash mid-commit tears at most the
+// slot being written, whose CRC then fails, so recovery falls back to
+// the other slot — the previous checkpoint. Content pages are always
+// FRESHLY allocated (never overwriting pages an older manifest points
+// at) and synced before the manifest that references them is
+// committed, so every manifest that passes its CRC references bytes
+// that are durable in full. The WAL is truncated only after the
+// manifest commit (em/durable_store.h sequences this), which is what
+// makes a crash at ANY point of the protocol recoverable to either the
+// old or the new checkpoint, never to neither.
+//
+// MetaWriter/MetaReader are the (host-endian) serializers structures
+// use for SaveMeta/reopen; a reopened structure re-adopts its pages by
+// id without rebuilding, which is the cheap-cold-start path bench_persist
+// (E26) measures against a full rebuild.
+
+#ifndef TOPK_EM_CHECKPOINT_H_
+#define TOPK_EM_CHECKPOINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/crc32.h"
+#include "em/block_device.h"
+#include "em/buffer_pool.h"
+#include "em/storage.h"
+
+namespace topk::em {
+
+// --- meta serialization ---------------------------------------------
+
+class MetaWriter {
+ public:
+  void U64(uint64_t v) { AppendRaw(&v, 8); }
+  void F64(double v) { AppendRaw(&v, 8); }
+  void VecU64(const std::vector<uint64_t>& v) {
+    U64(v.size());
+    for (const uint64_t x : v) U64(x);
+  }
+  void VecF64(const std::vector<double>& v) {
+    U64(v.size());
+    for (const double x : v) F64(x);
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  void AppendRaw(const void* p, size_t n) {
+    const size_t at = bytes_.size();
+    bytes_.resize(at + n);
+    std::memcpy(bytes_.data() + at, p, n);
+  }
+  std::vector<uint8_t> bytes_;
+};
+
+// Bounds-checked cursor over a meta blob; running past the end is a
+// programmer/corruption error and aborts (the blob's CRC was verified
+// before a reader is constructed).
+class MetaReader {
+ public:
+  MetaReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  explicit MetaReader(const std::vector<uint8_t>& bytes)
+      : MetaReader(bytes.data(), bytes.size()) {}
+
+  uint64_t U64() {
+    uint64_t v;
+    TakeRaw(&v, 8);
+    return v;
+  }
+  double F64() {
+    double v;
+    TakeRaw(&v, 8);
+    return v;
+  }
+  std::vector<uint64_t> VecU64() {
+    std::vector<uint64_t> v(U64());
+    for (uint64_t& x : v) x = U64();
+    return v;
+  }
+  std::vector<double> VecF64() {
+    std::vector<double> v(U64());
+    for (double& x : v) x = F64();
+    return v;
+  }
+  bool exhausted() const { return at_ == len_; }
+
+ private:
+  void TakeRaw(void* p, size_t n) {
+    TOPK_CHECK_LE(at_ + n, len_);
+    std::memcpy(p, data_ + at_, n);
+    at_ += n;
+  }
+  const uint8_t* data_;
+  size_t len_;
+  size_t at_ = 0;
+};
+
+// --- content blobs on device pages ----------------------------------
+
+// Page range holding a blob, with its exact byte length and CRC. All
+// zeros = absent.
+struct BlobRef {
+  uint64_t first_page = 0;
+  uint64_t page_count = 0;
+  uint64_t length = 0;
+  uint32_t crc = 0;
+  uint32_t reserved = 0;
+};
+
+// Writes `bytes` into freshly allocated, consecutive device pages via
+// TryWrite (no buffer pool: checkpoint I/O must not disturb pool
+// residency or eviction order, and its failures must propagate, not
+// abort). False on any write failure.
+[[nodiscard]] inline bool WriteBlob(BlockDevice* device,
+                                    const std::vector<uint8_t>& bytes,
+                                    BlobRef* out) {
+  const size_t page = device->page_size();
+  const uint64_t pages =
+      (bytes.size() + page - 1) / page;
+  out->length = bytes.size();
+  out->page_count = pages;
+  out->crc = Crc32(bytes.data(), bytes.size());
+  out->first_page = pages == 0 ? 0 : device->Allocate();
+  std::vector<uint8_t> frame(page);
+  for (uint64_t p = 0; p < pages; ++p) {
+    if (p > 0) {
+      const uint64_t id = device->Allocate();
+      TOPK_CHECK_EQ(id, out->first_page + p);  // consecutive by contract
+    }
+    const size_t begin = static_cast<size_t>(p) * page;
+    const size_t n = bytes.size() - begin < page ? bytes.size() - begin
+                                                 : page;
+    std::memcpy(frame.data(), bytes.data() + begin, n);
+    std::memset(frame.data() + n, 0, page - n);
+    if (device->TryWrite(out->first_page + p, frame.data()) !=
+        IoResult::kOk) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Reads a blob back and verifies its CRC. False on a read failure or a
+// checksum mismatch (the caller falls back to an older manifest).
+[[nodiscard]] inline bool ReadBlob(BlockDevice* device, const BlobRef& ref,
+                                   std::vector<uint8_t>* out) {
+  const size_t page = device->page_size();
+  out->clear();
+  out->resize(static_cast<size_t>(ref.page_count) * page);
+  for (uint64_t p = 0; p < ref.page_count; ++p) {
+    if (ref.first_page + p >= device->num_pages()) return false;
+    if (device->TryRead(ref.first_page + p,
+                        out->data() + static_cast<size_t>(p) * page) !=
+        IoResult::kOk) {
+      return false;
+    }
+  }
+  if (ref.length > out->size()) return false;
+  out->resize(ref.length);
+  return Crc32(out->data(), out->size()) == ref.crc;
+}
+
+// --- the manifest ---------------------------------------------------
+
+inline constexpr uint64_t kManifestMagic = 0x544F504B43505431ULL;  // TOPKCPT1
+inline constexpr uint32_t kManifestFormatVersion = 1;
+
+struct ManifestRecord {
+  uint64_t magic = kManifestMagic;
+  uint32_t format_version = kManifestFormatVersion;
+  uint32_t page_size = 0;
+  uint64_t generation = 0;     // strictly increasing across commits
+  uint64_t wal_seq = 0;        // updates with seq <= this are included
+  uint64_t element_count = 0;  // payload elements (informational)
+  BlobRef payload;             // e.g. the element image
+  BlobRef meta;                // e.g. a structure's SaveMeta blob
+};
+static_assert(sizeof(ManifestRecord) == 104);  // packed: no padding to
+                                               // silently enter the CRC
+
+// Dual-slot manifest store over a (typically tiny, dedicated)
+// ByteStorage.
+class ManifestStore {
+ public:
+  static constexpr uint64_t kSlotBytes = 128;
+  static_assert(sizeof(ManifestRecord) + 4 <= kSlotBytes);
+
+  explicit ManifestStore(ByteStorage* storage) : storage_(storage) {
+    TOPK_CHECK(storage_ != nullptr);
+  }
+
+  // Valid records, best (highest generation) first. Empty when no slot
+  // validates (fresh storage, or both slots torn).
+  std::vector<ManifestRecord> LoadAll() const {
+    std::vector<ManifestRecord> out;
+    for (int slot = 0; slot < 2; ++slot) {
+      ManifestRecord rec;
+      if (LoadSlot(slot, &rec)) out.push_back(rec);
+    }
+    if (out.size() == 2 && out[0].generation < out[1].generation) {
+      std::swap(out[0], out[1]);
+    }
+    return out;
+  }
+
+  // Writes `rec` into the slot not holding the current best generation
+  // and syncs. The record's generation must beat every valid slot.
+  [[nodiscard]] bool Commit(const ManifestRecord& rec) {
+    int target = 0;
+    uint64_t best_gen = 0;
+    for (int slot = 0; slot < 2; ++slot) {
+      ManifestRecord cur;
+      if (LoadSlot(slot, &cur) && cur.generation >= best_gen) {
+        best_gen = cur.generation;
+        target = 1 - slot;
+      }
+    }
+    TOPK_CHECK_LT(best_gen, rec.generation);
+    uint8_t slot_bytes[kSlotBytes] = {};
+    const uint32_t crc =
+        Crc32(reinterpret_cast<const uint8_t*>(&rec), sizeof(rec));
+    std::memcpy(slot_bytes, &crc, 4);
+    std::memcpy(slot_bytes + 4, &rec, sizeof(rec));
+    if (storage_->Write(static_cast<uint64_t>(target) * kSlotBytes,
+                        slot_bytes, kSlotBytes) != IoResult::kOk) {
+      return false;
+    }
+    return storage_->Sync() == IoResult::kOk;
+  }
+
+ private:
+  bool LoadSlot(int slot, ManifestRecord* out) const {
+    const uint64_t off = static_cast<uint64_t>(slot) * kSlotBytes;
+    if (off + kSlotBytes > storage_->size()) return false;
+    uint8_t slot_bytes[kSlotBytes];
+    storage_->Read(off, kSlotBytes, slot_bytes);
+    uint32_t crc = 0;
+    std::memcpy(&crc, slot_bytes, 4);
+    std::memcpy(out, slot_bytes + 4, sizeof(*out));
+    if (Crc32(slot_bytes + 4, sizeof(*out)) != crc) return false;
+    return out->magic == kManifestMagic &&
+           out->format_version == kManifestFormatVersion;
+  }
+
+  ByteStorage* storage_;
+};
+
+// --- whole-structure checkpointing ----------------------------------
+
+// Saves a built structure (anything with SaveMeta(MetaWriter*)) as a
+// checkpoint: meta blob into fresh pages, device synced, manifest
+// committed. The caller must have flushed the structure's BufferPool
+// (FlushAll) first — the manifest only promises durability for bytes
+// that were ON the device when it synced, not for dirty frames still
+// in the pool. `device_backing` is the device's ByteStorage when it is
+// file-backed (synced before the manifest commit); pass nullptr for the
+// in-memory simulator. False if any step failed; the previous
+// checkpoint (if any) is then still intact.
+template <typename S>
+[[nodiscard]] bool SaveStructure(BlockDevice* device, const S& s,
+                                 ManifestStore* manifests,
+                                 ByteStorage* device_backing,
+                                 uint64_t wal_seq = 0) {
+  MetaWriter w;
+  s.SaveMeta(&w);
+  ManifestRecord rec;
+  rec.page_size = static_cast<uint32_t>(device->page_size());
+  rec.wal_seq = wal_seq;
+  rec.element_count = s.size();
+  const std::vector<ManifestRecord> prev = manifests->LoadAll();
+  rec.generation = prev.empty() ? 1 : prev.front().generation + 1;
+  if (!WriteBlob(device, w.bytes(), &rec.meta)) return false;
+  if (device_backing != nullptr &&
+      device_backing->Sync() != IoResult::kOk) {
+    return false;
+  }
+  return manifests->Commit(rec);
+}
+
+// Reopens the newest structure checkpoint whose blobs verify: loads the
+// meta blob and constructs S::LoadMeta(pool, &reader). False when no
+// manifest validates end-to-end. `wal_seq_out` (optional) reports the
+// WAL watermark the checkpoint covers.
+template <typename S>
+[[nodiscard]] bool LoadStructure(BufferPool* pool, ManifestStore* manifests,
+                                 S* out, uint64_t* wal_seq_out = nullptr) {
+  for (const ManifestRecord& rec : manifests->LoadAll()) {
+    if (rec.page_size != pool->device()->page_size()) continue;
+    std::vector<uint8_t> meta;
+    if (!ReadBlob(pool->device(), rec.meta, &meta)) continue;
+    MetaReader r(meta);
+    *out = S::LoadMeta(pool, &r);
+    if (wal_seq_out != nullptr) *wal_seq_out = rec.wal_seq;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace topk::em
+
+#endif  // TOPK_EM_CHECKPOINT_H_

@@ -1,0 +1,228 @@
+// DurableStore: the durable dynamic update stream — WAL-committed
+// mutations over a checkpointed element image.
+//
+// This is the persistence root for the dynamic serving path (PR 6's
+// epoch rotation over SampledTopK): the process applies Insert/Erase
+// only after the operation's WAL record is durable, periodically
+// checkpoints the full element image into fresh device pages, and on
+// restart Recover() = newest valid checkpoint + WAL tail replay.
+//
+// Durability contract (DESIGN.md "durability contract" has the prose
+// version):
+//   * Commit point: an Insert/Erase returns true only after its WAL
+//     record is appended AND synced. A true return survives any crash.
+//   * Crash atomicity: survivors are always a seq-PREFIX of the issued
+//     operations — the WAL is append-only and page-cache flushing
+//     preserves write order within one file, so a valid record can
+//     never follow a torn one. Recovery therefore lands on
+//     apply(ops[0..s]) for some s between the acked count and the
+//     issued count; the single op in flight at the crash may or may
+//     not survive, acknowledged ops always do.
+//   * Checkpoint: element image into FRESH pages -> device sync ->
+//     manifest commit (dual-slot) -> WAL reset. A crash between any
+//     two steps recovers to the old checkpoint + full WAL, or to the
+//     new checkpoint (+ a WAL whose records are all <= wal_seq and are
+//     skipped by the replay's idempotence gate).
+//   * Recovery is idempotent: a second Recover() over the same
+//     storages reads the same pages (same I/O count), truncates
+//     nothing, and reproduces the same state.
+//
+// Failure posture: storage failures (injected torn writes / short
+// fsyncs, or a real fsync error) are returned as false, never aborted
+// on — a false mutation is simply un-acknowledged, a false Checkpoint
+// leaves the previous checkpoint authoritative. TOPK_CHECK remains for
+// programmer errors (inserting a live id, erasing a dead one).
+
+#ifndef TOPK_EM_DURABLE_STORE_H_
+#define TOPK_EM_DURABLE_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.h"
+#include "em/block_device.h"
+#include "em/checkpoint.h"
+#include "em/storage.h"
+#include "em/wal.h"
+
+namespace topk::em {
+
+// Element must be trivially copyable and expose a unique `id` field
+// (the library-wide (weight, id) total order makes ids unique by
+// contract).
+template <typename Element>
+class DurableStore {
+  static_assert(std::is_trivially_copyable_v<Element>);
+
+ public:
+  // The three durable artifacts: page store, log, manifest slots.
+  // `device_backing` is the device's own ByteStorage when file-backed
+  // (so checkpoints can sync data pages before the manifest commit);
+  // nullptr for the in-memory simulator.
+  DurableStore(BlockDevice* device, ByteStorage* device_backing,
+               ByteStorage* wal_storage, ByteStorage* manifest_storage)
+      : device_(device),
+        device_backing_(device_backing),
+        wal_(wal_storage),
+        manifests_(manifest_storage) {
+    TOPK_CHECK(device_ != nullptr);
+  }
+
+  struct RecoverStats {
+    bool had_checkpoint = false;
+    uint64_t checkpoint_generation = 0;
+    uint64_t checkpoint_elements = 0;
+    uint64_t wal_records_replayed = 0;
+    uint64_t wal_truncated_bytes = 0;
+  };
+
+  // Loads the newest checkpoint whose payload verifies (falling back to
+  // the older slot, then to empty) and replays the WAL tail past the
+  // checkpoint's watermark, truncating any torn tail. Call exactly once
+  // on a fresh instance, before any mutation.
+  RecoverStats Recover() {
+    TOPK_CHECK_EQ(applied_seq_, 0u);
+    TOPK_CHECK(by_id_.empty());
+    RecoverStats stats;
+    for (const ManifestRecord& rec : manifests_.LoadAll()) {
+      if (rec.page_size != device_->page_size()) continue;
+      std::vector<uint8_t> payload;
+      if (!ReadBlob(device_, rec.payload, &payload)) continue;
+      TOPK_CHECK_EQ(payload.size(), rec.element_count * sizeof(Element));
+      for (uint64_t i = 0; i < rec.element_count; ++i) {
+        Element e;
+        std::memcpy(&e, payload.data() + i * sizeof(Element),
+                    sizeof(Element));
+        TOPK_CHECK(by_id_.emplace(e.id, e).second);
+      }
+      applied_seq_ = rec.wal_seq;
+      stats.had_checkpoint = true;
+      stats.checkpoint_generation = rec.generation;
+      stats.checkpoint_elements = rec.element_count;
+      break;
+    }
+    const WriteAheadLog::ReplayStats rs = wal_.Replay(
+        applied_seq_, [this](uint64_t seq, const uint8_t* p, uint32_t n) {
+          ApplyRecord(seq, p, n);
+        });
+    stats.wal_records_replayed = rs.visited;
+    stats.wal_truncated_bytes = rs.truncated_bytes;
+    return stats;
+  }
+
+  // Mutations: acknowledged (true) only once durable. On false the
+  // in-memory state is unchanged and the operation is NOT acknowledged;
+  // after a crash it may surface as the single surviving in-flight op.
+  [[nodiscard]] bool Insert(const Element& e) {
+    TOPK_CHECK(by_id_.find(e.id) == by_id_.end());
+    uint8_t payload[1 + sizeof(Element)];
+    payload[0] = kOpInsert;
+    std::memcpy(payload + 1, &e, sizeof(Element));
+    return CommitAndApply(payload, sizeof(payload));
+  }
+
+  [[nodiscard]] bool Erase(uint64_t id) {
+    TOPK_CHECK(by_id_.find(id) != by_id_.end());
+    uint8_t payload[1 + sizeof(uint64_t)];
+    payload[0] = kOpErase;
+    std::memcpy(payload + 1, &id, sizeof(uint64_t));
+    return CommitAndApply(payload, sizeof(payload));
+  }
+
+  // Writes the element image into fresh pages and commits a manifest
+  // covering every applied operation, then empties the WAL. False
+  // leaves the previous checkpoint authoritative (some fresh pages may
+  // be dead weight — acceptable garbage after a crash).
+  [[nodiscard]] bool Checkpoint() {
+    std::vector<uint8_t> payload(by_id_.size() * sizeof(Element));
+    size_t i = 0;
+    for (const auto& [id, e] : by_id_) {
+      std::memcpy(payload.data() + i * sizeof(Element), &e,
+                  sizeof(Element));
+      ++i;
+    }
+    ManifestRecord rec;
+    rec.page_size = static_cast<uint32_t>(device_->page_size());
+    rec.wal_seq = applied_seq_;
+    rec.element_count = by_id_.size();
+    const std::vector<ManifestRecord> prev = manifests_.LoadAll();
+    rec.generation = prev.empty() ? 1 : prev.front().generation + 1;
+    if (!WriteBlob(device_, payload, &rec.payload)) return false;
+    if (device_backing_ != nullptr &&
+        device_backing_->Sync() != IoResult::kOk) {
+      return false;
+    }
+    if (!manifests_.Commit(rec)) return false;
+    return wal_.Reset();
+  }
+
+  // Elements in ascending-id order (deterministic; the brute-force
+  // comparison surface for the crash harness).
+  std::vector<Element> Elements() const {
+    std::vector<Element> out;
+    out.reserve(by_id_.size());
+    for (const auto& [id, e] : by_id_) out.push_back(e);
+    return out;
+  }
+
+  size_t size() const { return by_id_.size(); }
+  // Seq of the last applied (== last acknowledged, between crashes)
+  // operation; after Recover, the recovery watermark.
+  uint64_t applied_seq() const { return applied_seq_; }
+
+  WriteAheadLog* wal() { return &wal_; }
+  ManifestStore* manifests() { return &manifests_; }
+
+ private:
+  static constexpr uint8_t kOpInsert = 1;
+  static constexpr uint8_t kOpErase = 2;
+
+  [[nodiscard]] bool CommitAndApply(const uint8_t* payload, size_t len) {
+    const uint64_t seq = applied_seq_ + 1;
+    const uint64_t pre = wal_.bytes();
+    if (!wal_.Append(seq, payload, static_cast<uint32_t>(len))) {
+      return false;  // Append already rolled its bytes back
+    }
+    if (!wal_.Commit()) {
+      // Un-synced record with a seq the NEXT attempt will reuse; roll
+      // it back so a retried mutation appends cleanly (wal.h Rollback).
+      wal_.Rollback(pre);
+      return false;
+    }
+    ApplyRecord(seq, payload, static_cast<uint32_t>(len));
+    return true;
+  }
+
+  void ApplyRecord(uint64_t seq, const uint8_t* payload, uint32_t len) {
+    TOPK_CHECK_EQ(seq, applied_seq_ + 1);  // replay is gap-free by framing
+    TOPK_CHECK(len >= 1);
+    if (payload[0] == kOpInsert) {
+      TOPK_CHECK_EQ(len, 1 + sizeof(Element));
+      Element e;
+      std::memcpy(&e, payload + 1, sizeof(Element));
+      TOPK_CHECK(by_id_.emplace(e.id, e).second);
+    } else {
+      TOPK_CHECK_EQ(payload[0], kOpErase);
+      TOPK_CHECK_EQ(len, 1 + sizeof(uint64_t));
+      uint64_t id;
+      std::memcpy(&id, payload + 1, sizeof(uint64_t));
+      TOPK_CHECK_EQ(by_id_.erase(id), 1u);
+    }
+    applied_seq_ = seq;
+  }
+
+  BlockDevice* device_;
+  ByteStorage* device_backing_;
+  WriteAheadLog wal_;
+  ManifestStore manifests_;
+  std::map<uint64_t, Element> by_id_;
+  uint64_t applied_seq_ = 0;
+};
+
+}  // namespace topk::em
+
+#endif  // TOPK_EM_DURABLE_STORE_H_

@@ -30,6 +30,7 @@
 #include "common/stats.h"
 #include "common/weighted.h"
 #include "em/buffer_pool.h"
+#include "em/checkpoint.h"
 
 namespace topk::em {
 
@@ -70,6 +71,34 @@ class EmKdTree {
         PatchChild(slot, child_root);
       }
     }
+  }
+
+  // Reopen from a checkpoint meta blob (em/checkpoint.h): re-adopts the
+  // packed node pages by id, skipping the whole in-memory build and
+  // repack — the E26 cheap-cold-start path for kd-backed problems.
+  // (A named factory, not a ctor overload: a braced `{}` data argument
+  // must keep meaning "empty input", never a null reader.)
+  static EmKdTree LoadMeta(BufferPool* pool, MetaReader* r) {
+    EmKdTree t;
+    t.pool_ = pool;
+    t.n_ = static_cast<size_t>(r->U64());
+    t.per_page_ = static_cast<size_t>(r->U64());
+    if (t.n_ > 0) {
+      TOPK_CHECK_EQ(t.per_page_,
+                    pool->device()->page_size() / sizeof(NodeRec));
+    }
+    t.root_.page = static_cast<int32_t>(static_cast<int64_t>(r->U64()));
+    t.root_.index = static_cast<int32_t>(static_cast<int64_t>(r->U64()));
+    t.pages_ = r->VecU64();
+    return t;
+  }
+
+  void SaveMeta(MetaWriter* w) const {
+    w->U64(n_);
+    w->U64(per_page_);
+    w->U64(static_cast<uint64_t>(static_cast<int64_t>(root_.page)));
+    w->U64(static_cast<uint64_t>(static_cast<int64_t>(root_.index)));
+    w->VecU64(pages_);
   }
 
   size_t size() const { return n_; }
@@ -186,7 +215,8 @@ class EmKdTree {
       return -1;
     };
 
-    uint8_t* frame = pool_->PinFresh(page_id);
+    PageRef ref = PageRef::Fresh(pool_, page_id);
+    uint8_t* frame = ref.data();
     for (size_t i = 0; i < taken.size(); ++i) {
       const BuildNode& src = nodes[taken[i]];
       NodeRec rec{};
@@ -214,7 +244,6 @@ class EmKdTree {
       }
       std::memcpy(frame + i * sizeof(NodeRec), &rec, sizeof(NodeRec));
     }
-    pool_->Unpin(page_id);
     return Slot{page_index, 0};
   }
 

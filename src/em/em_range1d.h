@@ -30,6 +30,7 @@
 #include "common/check.h"
 #include "common/stats.h"
 #include "common/weighted.h"
+#include "em/checkpoint.h"
 #include "em/paged_array.h"
 #include "range1d/point1d.h"
 
@@ -66,6 +67,34 @@ class EmBPlusTree {
       : pool_(pool), n_(sorted_by_x.size()),
         leaves_(std::move(sorted_by_x)) {
     BuildLevels();
+  }
+
+  // Reopen from a checkpoint meta blob (em/checkpoint.h): re-adopts the
+  // leaf and summary pages by id — no sort, no summary rebuild, zero
+  // write I/Os. The device must be the one the checkpoint was saved on
+  // (the manifest's blob CRC vouches for the meta; page contents are
+  // vouched for by the checkpoint protocol's sync-before-commit order).
+  // (A named factory, not a ctor overload: a braced `{}` data argument
+  // must keep meaning "empty input", never a null reader.)
+  static EmBPlusTree LoadMeta(BufferPool* pool, MetaReader* r) {
+    EmBPlusTree t;
+    t.pool_ = pool;
+    t.n_ = static_cast<size_t>(r->U64());
+    t.leaves_ = PagedArray<Element>::LoadMeta(pool, r);
+    const uint64_t num_levels = r->U64();
+    t.levels_.reserve(num_levels);
+    for (uint64_t i = 0; i < num_levels; ++i) {
+      t.levels_.push_back(PagedArray<Entry>::LoadMeta(pool, r));
+    }
+    TOPK_CHECK_EQ(t.leaves_.size(), t.n_);
+    return t;
+  }
+
+  void SaveMeta(MetaWriter* w) const {
+    w->U64(n_);
+    leaves_.SaveMeta(w);
+    w->U64(levels_.size());
+    for (const PagedArray<Entry>& level : levels_) level.SaveMeta(w);
   }
 
   size_t size() const { return n_; }
@@ -309,6 +338,32 @@ class EmRange1dPrioritized {
       chunks_.emplace_back(pool_, std::vector<Element>(data.begin() + begin,
                                                        data.begin() + end));
     }
+  }
+
+  // Reopen from a checkpoint meta blob; see EmBPlusTree::LoadMeta.
+  static EmRange1dPrioritized LoadMeta(BufferPool* pool, MetaReader* r) {
+    EmRange1dPrioritized t;
+    t.pool_ = pool;
+    t.n_ = static_cast<size_t>(r->U64());
+    t.chunk_size_ = static_cast<size_t>(r->U64());
+    t.by_weight_ = PagedArray<Element>::LoadMeta(pool, r);
+    t.chunk_min_weight_ = r->VecF64();
+    const uint64_t num_chunks = r->U64();
+    TOPK_CHECK_EQ(num_chunks, t.chunk_min_weight_.size());
+    t.chunks_.reserve(num_chunks);
+    for (uint64_t i = 0; i < num_chunks; ++i) {
+      t.chunks_.push_back(EmBPlusTree::LoadMeta(pool, r));
+    }
+    return t;
+  }
+
+  void SaveMeta(MetaWriter* w) const {
+    w->U64(n_);
+    w->U64(chunk_size_);
+    by_weight_.SaveMeta(w);
+    w->VecF64(chunk_min_weight_);
+    w->U64(chunks_.size());
+    for (const EmBPlusTree& chunk : chunks_) chunk.SaveMeta(w);
   }
 
   size_t size() const { return n_; }

@@ -35,11 +35,10 @@ class PagedArray {
     for (size_t p = 0; p < num_pages; ++p) {
       const uint64_t page_id = pool_->device()->Allocate();
       pages_.push_back(page_id);
-      uint8_t* frame = pool_->PinFresh(page_id);
+      PageRef ref = PageRef::Fresh(pool_, page_id);
       const size_t begin = p * per_page_;
       const size_t count = std::min(per_page_, size_ - begin);
-      std::memcpy(frame, data.data() + begin, count * sizeof(T));
-      pool_->Unpin(page_id);
+      std::memcpy(ref.data(), data.data() + begin, count * sizeof(T));
     }
   }
 
@@ -55,6 +54,28 @@ class PagedArray {
     T out;
     std::memcpy(&out, ref.data() + (i % per_page_) * sizeof(T), sizeof(T));
     return out;
+  }
+
+  // Page ids backing the array, in element order (the reopen surface:
+  // a checkpoint meta blob records them so the array can be re-adopted
+  // without rewriting a page).
+  const std::vector<uint64_t>& pages() const { return pages_; }
+
+  // Checkpoint meta (em/checkpoint.h): enough to re-adopt the same
+  // device pages on reopen. Layout compatibility (page_size / sizeof(T))
+  // is checked on load.
+  template <typename MetaSink>
+  void SaveMeta(MetaSink* w) const {
+    w->U64(size_);
+    w->U64(per_page_);
+    w->VecU64(pages_);
+  }
+  template <typename MetaSource>
+  static PagedArray LoadMeta(BufferPool* pool, MetaSource* r) {
+    const size_t size = static_cast<size_t>(r->U64());
+    const size_t per_page = static_cast<size_t>(r->U64());
+    TOPK_CHECK_EQ(per_page, pool->device()->page_size() / sizeof(T));
+    return PagedArray(pool, size, per_page, r->VecU64());
   }
 
   // Visits elements [begin, end) page at a time; visit(const T&) returns
@@ -122,9 +143,8 @@ class PagedArrayBuilder {
   void Flush() {
     const uint64_t page_id = pool_->device()->Allocate();
     pages_.push_back(page_id);
-    uint8_t* frame = pool_->PinFresh(page_id);
-    std::memcpy(frame, buffer_.data(), buffer_.size() * sizeof(T));
-    pool_->Unpin(page_id);
+    PageRef ref = PageRef::Fresh(pool_, page_id);
+    std::memcpy(ref.data(), buffer_.data(), buffer_.size() * sizeof(T));
     buffer_.clear();
   }
 

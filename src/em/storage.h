@@ -1,0 +1,157 @@
+// ByteStorage: the durable flat byte sequence under the persistence
+// layer.
+//
+// Everything the durability subsystem writes — the write-ahead log
+// (em/wal.h), the checkpoint manifest slots (em/checkpoint.h), and the
+// page store behind FileBlockDevice (em/file_block_device.h) — goes
+// through this interface, so the whole commit protocol can run over a
+// real file (FileStorage, POSIX pread/pwrite/fsync) or over MemStorage,
+// an in-memory model of a crashing disk.
+//
+// The durability model (what MemStorage simulates and FileStorage
+// inherits from POSIX semantics): a Write lands in the volatile page
+// cache and is NOT durable until a subsequent Sync succeeds. On a
+// crash, every synced byte survives; un-synced writes survive as an
+// arbitrary *prefix* of the writes issued since the last Sync, and the
+// first dropped write may itself be torn (a byte prefix). Reads always
+// observe the process's own writes (the page cache), durable or not.
+// Write/Sync/Truncate report failure via IoResult so fault decorators
+// (fault/faulty_storage.h, fault/crash_point.h) can interpose torn
+// writes, short fsyncs, and crash points; reads are infallible here —
+// read-side faults are injected one level up, at the BlockDevice
+// (fault/faulty_block_device.h).
+
+#ifndef TOPK_EM_STORAGE_H_
+#define TOPK_EM_STORAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/check.h"
+#include "em/block_device.h"
+
+namespace topk::em {
+
+class ByteStorage {
+ public:
+  virtual ~ByteStorage() = default;
+
+  // Current size in bytes as seen by the process (includes un-synced
+  // extensions).
+  virtual uint64_t size() const = 0;
+
+  // Copies [offset, offset + len) into `out`. The range must be within
+  // size(); sees the process's own un-synced writes.
+  virtual void Read(uint64_t offset, size_t len, uint8_t* out) const = 0;
+
+  // Writes len bytes at offset, extending the storage if needed. The
+  // bytes are volatile until the next successful Sync.
+  [[nodiscard]] virtual IoResult Write(uint64_t offset, const uint8_t* data,
+                                       size_t len) = 0;
+
+  // Makes every preceding write durable. The commit point of every
+  // protocol above this interface.
+  [[nodiscard]] virtual IoResult Sync() = 0;
+
+  // Grows (zero-filling) or shrinks the storage to new_size. Like a
+  // write, volatile until synced.
+  [[nodiscard]] virtual IoResult Truncate(uint64_t new_size) = 0;
+};
+
+// In-memory ByteStorage that models the volatile/durable split: it
+// keeps the last synced image plus a journal of the operations issued
+// since, so a test can crash it at any instant and choose exactly how
+// much of the un-synced tail the simulated page cache had flushed.
+// Never fails on its own; fault decorators supply the failures.
+class MemStorage final : public ByteStorage {
+ public:
+  MemStorage() = default;
+
+  uint64_t size() const override { return data_.size(); }
+
+  void Read(uint64_t offset, size_t len, uint8_t* out) const override {
+    TOPK_CHECK_LE(offset + len, data_.size());
+    std::memcpy(out, data_.data() + offset, len);
+  }
+
+  [[nodiscard]] IoResult Write(uint64_t offset, const uint8_t* data,
+                               size_t len) override {
+    pending_.push_back(Op{Op::kWrite, offset,
+                          std::vector<uint8_t>(data, data + len), 0});
+    Apply(&data_, pending_.back());
+    return IoResult::kOk;
+  }
+
+  [[nodiscard]] IoResult Sync() override {
+    durable_ = data_;
+    pending_.clear();
+    return IoResult::kOk;
+  }
+
+  [[nodiscard]] IoResult Truncate(uint64_t new_size) override {
+    pending_.push_back(Op{Op::kTruncate, 0, {}, new_size});
+    Apply(&data_, pending_.back());
+    return IoResult::kOk;
+  }
+
+  // --- crash simulation ---------------------------------------------
+
+  // Number of operations issued since the last successful Sync.
+  size_t pending_ops() const { return pending_.size(); }
+
+  // Crashes the process: the durable image becomes the last synced
+  // state plus the first `flushed_ops` pending operations, plus — when
+  // torn_bytes > 0 and a further pending WRITE exists — the first
+  // torn_bytes bytes of that next write (a torn write; a pending
+  // truncate is atomic and is applied iff torn_bytes > 0). The volatile
+  // view is discarded and replaced by the durable image, ready for a
+  // recovery pass over the same object.
+  void SimulateCrash(size_t flushed_ops, size_t torn_bytes = 0) {
+    TOPK_CHECK_LE(flushed_ops, pending_.size());
+    data_ = durable_;
+    for (size_t i = 0; i < flushed_ops; ++i) Apply(&data_, pending_[i]);
+    if (torn_bytes > 0 && flushed_ops < pending_.size()) {
+      Op torn = pending_[flushed_ops];
+      if (torn.kind == Op::kWrite && torn_bytes < torn.bytes.size()) {
+        torn.bytes.resize(torn_bytes);
+      }
+      Apply(&data_, torn);
+    }
+    durable_ = data_;
+    pending_.clear();
+  }
+
+  // The synced image, for byte-level assertions.
+  const std::vector<uint8_t>& durable_bytes() const { return durable_; }
+
+ private:
+  struct Op {
+    enum Kind : uint8_t { kWrite, kTruncate };
+    Kind kind;
+    uint64_t offset;
+    std::vector<uint8_t> bytes;  // kWrite
+    uint64_t new_size;           // kTruncate
+  };
+
+  static void Apply(std::vector<uint8_t>* image, const Op& op) {
+    if (op.kind == Op::kTruncate) {
+      image->resize(op.new_size, 0);
+      return;
+    }
+    if (op.offset + op.bytes.size() > image->size()) {
+      image->resize(op.offset + op.bytes.size(), 0);
+    }
+    std::memcpy(image->data() + op.offset, op.bytes.data(),
+                op.bytes.size());
+  }
+
+  std::vector<uint8_t> data_;     // volatile view (what Read serves)
+  std::vector<uint8_t> durable_;  // last synced image
+  std::vector<Op> pending_;       // issued since the last Sync
+};
+
+}  // namespace topk::em
+
+#endif  // TOPK_EM_STORAGE_H_

@@ -1,0 +1,165 @@
+// Append-only write-ahead log over a ByteStorage.
+//
+// Record framing (host-endian, all offsets byte-exact):
+//
+//   [u32 payload_len][u32 crc][u64 seq][payload_len bytes]
+//
+// where crc = Crc32(seq || payload). Records carry strictly increasing
+// sequence numbers assigned by the caller; the seq is both the replay
+// idempotence key (a record with seq <= the applied watermark is
+// skipped) and an extra integrity check (a non-increasing seq is
+// treated as corruption).
+//
+// Commit protocol: Append writes the whole record in ONE storage write
+// (so a torn write tears a single record, never straddles two), Commit
+// syncs. An operation is acknowledged only after its Commit succeeds —
+// that sync is the commit point of the durability contract (DESIGN.md).
+//
+// Torn-tail handling: Replay scans from the front, validating framing
+// and CRC. The first record that is short, fails its CRC, or breaks
+// seq monotonicity marks the torn tail — the log is truncated there
+// (un-acknowledged bytes from the crash are discarded) and every record
+// before it is replayed. Replaying is idempotent by construction:
+// records at or below `after_seq` are scanned but not visited, and a
+// second Replay over the already-truncated log visits nothing new and
+// truncates nothing.
+
+#ifndef TOPK_EM_WAL_H_
+#define TOPK_EM_WAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/check.h"
+#include "common/crc32.h"
+#include "em/block_device.h"
+#include "em/storage.h"
+
+namespace topk::em {
+
+class WriteAheadLog {
+ public:
+  static constexpr size_t kHeaderBytes = 16;  // len + crc + seq
+
+  explicit WriteAheadLog(ByteStorage* storage) : storage_(storage) {
+    TOPK_CHECK(storage_ != nullptr);
+  }
+
+  // Appends one framed record at the end of the log. Volatile until
+  // Commit; false when the storage write failed. A failed append rolls
+  // its (possibly torn) bytes back out of the append path — see
+  // Rollback for why a later successful append must never land after
+  // them.
+  [[nodiscard]] bool Append(uint64_t seq, const uint8_t* payload,
+                            uint32_t payload_len) {
+    std::vector<uint8_t> rec(kHeaderBytes + payload_len);
+    uint8_t seq_bytes[8];
+    std::memcpy(seq_bytes, &seq, 8);
+    const uint32_t crc =
+        Crc32(payload, payload_len, Crc32(seq_bytes, 8));
+    std::memcpy(rec.data(), &payload_len, 4);
+    std::memcpy(rec.data() + 4, &crc, 4);
+    std::memcpy(rec.data() + 8, &seq, 8);
+    std::memcpy(rec.data() + kHeaderBytes, payload, payload_len);
+    const uint64_t at = storage_->size();
+    if (storage_->Write(at, rec.data(), rec.size()) != IoResult::kOk) {
+      Rollback(at);
+      return false;
+    }
+    return true;
+  }
+
+  // The commit point: every appended record becomes durable.
+  [[nodiscard]] bool Commit() { return storage_->Sync() == IoResult::kOk; }
+
+  // Shrinks the (volatile) log back to `to_bytes` after a failed
+  // Append or Commit. The failed record's bytes must not stay in the
+  // append path: the caller will retry or continue with the SAME or a
+  // later seq, and a successful append landing after torn/un-synced
+  // garbage — or after a duplicate of its own seq — would be cut off
+  // by replay, which truncates at the first bad or non-monotone
+  // record. Best-effort by design: if the truncate itself fails the
+  // process is crashing, and recovery's scan discards the tail anyway;
+  // page-cache flushing preserves write order, so a surviving later
+  // append implies the rollback survived too.
+  void Rollback(uint64_t to_bytes) {
+    if (storage_->size() > to_bytes) {
+      (void)storage_->Truncate(to_bytes);
+    }
+  }
+
+  // Empties the log (after a checkpoint has made its records
+  // redundant). Durable once it returns true.
+  [[nodiscard]] bool Reset() {
+    if (storage_->Truncate(0) != IoResult::kOk) return false;
+    return storage_->Sync() == IoResult::kOk;
+  }
+
+  uint64_t bytes() const { return storage_->size(); }
+
+  struct ReplayStats {
+    uint64_t valid_records = 0;    // records surviving the scan
+    uint64_t visited = 0;          // records with seq > after_seq
+    uint64_t last_seq = 0;         // highest surviving seq (0 if none)
+    uint64_t truncated_bytes = 0;  // torn tail discarded
+  };
+
+  // Scans the log, truncating the torn tail, and calls
+  // visit(seq, payload, payload_len) for each valid record with
+  // seq > after_seq, in order. Safe to call repeatedly: a re-replay
+  // with the same `after_seq` revisits the same records; with
+  // after_seq = last_seq it visits nothing.
+  template <typename Visit>
+  ReplayStats Replay(uint64_t after_seq, Visit&& visit) {
+    ReplayStats stats;
+    const uint64_t total = storage_->size();
+    uint64_t off = 0;
+    uint64_t prev_seq = 0;
+    std::vector<uint8_t> payload;
+    while (off + kHeaderBytes <= total) {
+      uint8_t header[kHeaderBytes];
+      storage_->Read(off, kHeaderBytes, header);
+      uint32_t payload_len = 0, crc = 0;
+      uint64_t seq = 0;
+      std::memcpy(&payload_len, header, 4);
+      std::memcpy(&crc, header + 4, 4);
+      std::memcpy(&seq, header + 8, 8);
+      if (payload_len > total - off - kHeaderBytes) break;  // short record
+      payload.resize(payload_len);
+      if (payload_len > 0) {
+        storage_->Read(off + kHeaderBytes, payload_len, payload.data());
+      }
+      if (Crc32(payload.data(), payload_len, Crc32(header + 8, 8)) != crc) {
+        break;  // torn or corrupt record
+      }
+      if (stats.valid_records > 0 && seq <= prev_seq) break;
+      prev_seq = seq;
+      ++stats.valid_records;
+      stats.last_seq = seq;
+      if (seq > after_seq) {
+        ++stats.visited;
+        visit(seq, payload.data(), payload_len);
+      }
+      off += kHeaderBytes + payload_len;
+    }
+    if (off < total) {
+      stats.truncated_bytes = total - off;
+      // Recovery-time housekeeping, best-effort: if the truncate or its
+      // sync fails we still recovered correctly in memory, and the next
+      // Replay will re-truncate the same tail.
+      if (storage_->Truncate(off) == IoResult::kOk) {
+        (void)storage_->Sync();
+      }
+    }
+    return stats;
+  }
+
+ private:
+  ByteStorage* storage_;
+};
+
+}  // namespace topk::em
+
+#endif  // TOPK_EM_WAL_H_

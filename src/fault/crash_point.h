@@ -1,0 +1,99 @@
+// Deterministic crash points: kill the process's durable effects at
+// exactly the N-th storage operation of a schedule.
+//
+// CrashClock is one shared counter of durable-effecting operations
+// (Write / Sync / Truncate) across every storage a store touches — the
+// WAL file, the manifest file, the page store — in program order (the
+// EM stack is single-threaded by contract, so the interleaving is the
+// call order and the count is exactly reproducible run over run).
+// CrashPointStorage wraps each ByteStorage and consults the clock: the
+// first `crash_at` operations pass through; every later operation is
+// dropped before reaching the inner storage and reports failure, which
+// models "the process died at that instant — nothing after it ever
+// reached the kernel".
+//
+// The harness (tests/crash_recovery_test.cc) runs a seeded
+// insert/erase/checkpoint schedule once with the clock unarmed to count
+// total operations T, then re-runs it T+1 times with crash_at =
+// 0, 1, ..., T. After each crash it discards the un-synced tail via
+// MemStorage::SimulateCrash (sweeping the flushed-prefix/torn-write
+// choices the page cache could have made), reopens fresh objects over
+// the surviving bytes, Recover()s, and asserts brute-force-exact
+// state — every fault site in the schedule gets its crash, exhaustively.
+
+#ifndef TOPK_FAULT_CRASH_POINT_H_
+#define TOPK_FAULT_CRASH_POINT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/check.h"
+#include "em/block_device.h"
+#include "em/storage.h"
+
+namespace topk::fault {
+
+class CrashClock {
+ public:
+  static constexpr uint64_t kNever = ~uint64_t{0};
+
+  // crash_at = number of durable operations allowed to happen; the
+  // (crash_at + 1)-th and later are dropped. kNever disarms.
+  explicit CrashClock(uint64_t crash_at = kNever) : crash_at_(crash_at) {}
+
+  // Accounts one durable operation; false iff the crash has struck.
+  bool Advance() {
+    if (ops_ >= crash_at_) return false;
+    ++ops_;
+    return true;
+  }
+
+  bool crashed() const { return ops_ >= crash_at_; }
+  uint64_t ops() const { return ops_; }
+
+ private:
+  uint64_t crash_at_;
+  uint64_t ops_ = 0;
+};
+
+class CrashPointStorage final : public em::ByteStorage {
+ public:
+  CrashPointStorage(em::ByteStorage* inner, CrashClock* clock)
+      : inner_(inner), clock_(clock) {
+    TOPK_CHECK(inner_ != nullptr);
+    TOPK_CHECK(clock_ != nullptr);
+  }
+
+  uint64_t size() const override { return inner_->size(); }
+
+  // Reads model the process's own memory/page-cache view and are not
+  // durable operations; a crashed run stops issuing them because every
+  // mutation path bails on its first failed write/sync.
+  void Read(uint64_t offset, size_t len, uint8_t* out) const override {
+    inner_->Read(offset, len, out);
+  }
+
+  [[nodiscard]] em::IoResult Write(uint64_t offset, const uint8_t* data,
+                                   size_t len) override {
+    if (!clock_->Advance()) return em::IoResult::kTransientFailure;
+    return inner_->Write(offset, data, len);
+  }
+
+  [[nodiscard]] em::IoResult Sync() override {
+    if (!clock_->Advance()) return em::IoResult::kTransientFailure;
+    return inner_->Sync();
+  }
+
+  [[nodiscard]] em::IoResult Truncate(uint64_t new_size) override {
+    if (!clock_->Advance()) return em::IoResult::kTransientFailure;
+    return inner_->Truncate(new_size);
+  }
+
+ private:
+  em::ByteStorage* inner_;
+  CrashClock* clock_;
+};
+
+}  // namespace topk::fault
+
+#endif  // TOPK_FAULT_CRASH_POINT_H_

@@ -209,5 +209,87 @@ TEST(Chaos, TotalReadOutageFlagsEverythingThenRecovers) {
   }
 }
 
+// One full life of the stack — build, query, FlushAll — with BOTH
+// fault sites armed in the same run (ISSUE satellite: mixed read+write
+// schedules). Build and write-back absorb write faults through the
+// retry budget exactly like query reads absorb read faults, the
+// answers and the counted I/O stay bitwise-identical to the fault-free
+// twin, and the accounting identity covers the two sites jointly:
+//   read_faults + write_faults == retries + giveups (== retries here).
+TEST(Chaos, MixedReadWriteFaultScheduleHoldsJointIdentity) {
+  Rng rng(51);
+  const std::vector<Point1D> data = test::RandomPoints1D(6000, &rng);
+  const auto queries = MakeQueries(16, 52);
+
+  // The armed run builds THROUGH the fault chain, so the twin must
+  // count its build I/O too (no ResetCounters, unlike ChaosFixture).
+  struct Stack {
+    BlockDevice base{512};
+    Injector inj;
+    FaultyBlockDevice faulty{&base, &inj};
+    RetryingBlockDevice retry;
+    BufferPool pool;
+    Stack(uint64_t seed, size_t max_attempts)
+        : inj(seed), retry(&faulty, {.max_attempts = max_attempts}),
+          pool(&retry, 16) {}
+  };
+  auto run = [&](Stack* s) {
+    auto pri_factory = [s](std::vector<Point1D> v) {
+      return EmRange1dPrioritized(&s->pool, std::move(v));
+    };
+    EmTopK topk(data, ReductionOptions{}, pri_factory);
+    FallibleTopK<EmTopK> fallible(&topk, &s->pool);
+    std::vector<std::vector<uint64_t>> ids;
+    for (const auto& [q, k] : queries) {
+      FallibleResult<Point1D> r = fallible.Query(q, k);
+      EXPECT_FALSE(r.io_failed);
+      ids.push_back(test::IdsOf(r.elements));
+    }
+    s->pool.FlushAll();
+    return ids;
+  };
+
+  Stack ref(/*seed=*/0, /*max_attempts=*/3);
+  const auto want_ids = run(&ref);
+  ASSERT_GT(ref.base.counters().writes, 0u);  // build + flush wrote
+
+  Stack fx(/*seed=*/99, /*max_attempts=*/3);
+  // Absorbable rates on both sites: every_nth >= 2 never faults the
+  // same transfer twice in a row, so 3 attempts always get through.
+  fx.inj.Arm(fault::kReadFaultSite, {.every_nth = 7});
+  fx.inj.Arm(fault::kWriteFaultSite, {.every_nth = 5});
+  const auto got_ids = run(&fx);
+
+  EXPECT_EQ(got_ids, want_ids);
+  EXPECT_EQ(fx.base.counters().reads, ref.base.counters().reads);
+  EXPECT_EQ(fx.base.counters().writes, ref.base.counters().writes);
+  EXPECT_EQ(fx.base.counters().giveups, 0u);
+  EXPECT_GT(fx.faulty.read_faults(), 0u);
+  EXPECT_GT(fx.faulty.write_faults(), 0u);
+  EXPECT_EQ(fx.faulty.read_faults() + fx.faulty.write_faults(),
+            fx.base.counters().retries);
+  EXPECT_EQ(fx.faulty.read_faults(), fx.inj.triggers(fault::kReadFaultSite));
+  EXPECT_EQ(fx.faulty.write_faults(),
+            fx.inj.triggers(fault::kWriteFaultSite));
+}
+
+// A write give-up reaching FlushAll stays FATAL by design: eviction
+// write-back has no redo log to degrade onto, so the infallible Write
+// wrapper aborts rather than silently dropping a dirty page (contrast
+// the read path, which degrades to a flagged result).
+TEST(ChaosDeathTest, WriteGiveupReachingFlushAllAborts) {
+  Rng rng(61);
+  const std::vector<Point1D> data = test::RandomPoints1D(400, &rng);
+  ChaosFixture fx(data, /*fault_seed=*/9, /*max_attempts=*/2);
+  // The build left dirty frames in the pool; a total write outage
+  // exhausts the retry budget on the first write-back.
+  fx.inj.Arm(fault::kWriteFaultSite, {.every_nth = 1});
+  EXPECT_DEATH(fx.pool.FlushAll(), "TOPK_CHECK");
+  // The death ran in the forked child; the parent's pool still holds
+  // its dirty frames, so clear the outage before the fixture's own
+  // destructor write-back.
+  fx.inj.DisarmAll();
+}
+
 }  // namespace
 }  // namespace topk

@@ -15,7 +15,10 @@
 # not be); for the epoch rule: one bare non-atomic member of an
 # epoch-published type (must be flagged), plus an `// epoch:`-annotated
 # member, a std::atomic member, a suppressed member, and an unmarked
-# type (none flagged). Exactly four findings total — a fifth means a
+# type (none flagged); for the io rule: one raw ::open outside an em/
+# directory (must be flagged), one suppressed via `// lint: io-ok`
+# (must not be), and raw I/O under an em/ directory (sanctioned home,
+# must not be). Exactly five findings total — a sixth means a
 # suppression or sanction regressed; fewer means a rule stopped firing.
 
 foreach(var PYTHON SCRIPT FIXTURE)
@@ -50,8 +53,12 @@ if(NOT out MATCHES "epochy\\.h:17: \\[epoch\\]")
   message(FATAL_ERROR "missing the expected [epoch] finding at "
                       "epochy.h:17\nstdout: ${out}\nstderr: ${err}")
 endif()
-if(NOT err MATCHES "4 finding")
-  message(FATAL_ERROR "expected exactly 4 findings (a suppression or "
+if(NOT out MATCHES "filey\\.h:14: \\[io\\]")
+  message(FATAL_ERROR "missing the expected [io] finding at "
+                      "filey.h:14\nstdout: ${out}\nstderr: ${err}")
+endif()
+if(NOT err MATCHES "5 finding")
+  message(FATAL_ERROR "expected exactly 5 findings (a suppression or "
                       "sanction regressed)\nstdout: ${out}\n"
                       "stderr: ${err}")
 endif()
@@ -73,5 +80,5 @@ if(NOT single_rc EQUAL 0)
 endif()
 
 message(STATUS
-        "lint.py: sleep/tracer/function/epoch + single-file self-test "
+        "lint.py: sleep/tracer/function/epoch/io + single-file self-test "
         "passed")

@@ -1,0 +1,252 @@
+// Write-ahead log: framing, commit semantics, and the torn-tail
+// contract (ISSUE satellite) — for EVERY truncation length within the
+// last record of a committed log, Replay recovers exactly the pre-tail
+// state, never aborts, truncates the torn tail, and a re-replay over
+// the truncated log is a byte-for-byte no-op. Byte-level bit flips over
+// the whole last record get the same treatment via the CRC.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "em/storage.h"
+#include "em/wal.h"
+#include "fault/failpoint.h"
+#include "fault/faulty_storage.h"
+
+namespace topk {
+namespace {
+
+using em::IoResult;
+using em::MemStorage;
+using em::WriteAheadLog;
+
+// Deterministic payload for record `seq`: seq bytes of a seq-derived
+// pattern (distinct lengths exercise framing at every alignment).
+std::vector<uint8_t> PayloadFor(uint64_t seq) {
+  std::vector<uint8_t> p(3 + static_cast<size_t>(seq) * 5);
+  for (size_t i = 0; i < p.size(); ++i) {
+    p[i] = static_cast<uint8_t>(seq * 37 + i * 11);
+  }
+  return p;
+}
+
+struct Replayed {
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> records;
+  WriteAheadLog::ReplayStats stats;
+};
+
+Replayed ReplayAll(WriteAheadLog* wal, uint64_t after_seq = 0) {
+  Replayed out;
+  out.stats = wal->Replay(
+      after_seq, [&](uint64_t seq, const uint8_t* p, uint32_t n) {
+        out.records.emplace_back(seq, std::vector<uint8_t>(p, p + n));
+      });
+  return out;
+}
+
+// Appends records 1..count and commits; returns each record's
+// exclusive end offset in the log (end_of[i] = bytes after record i+1).
+std::vector<uint64_t> AppendCommitted(WriteAheadLog* wal, uint64_t count) {
+  std::vector<uint64_t> end_of;
+  for (uint64_t seq = 1; seq <= count; ++seq) {
+    const std::vector<uint8_t> p = PayloadFor(seq);
+    EXPECT_TRUE(wal->Append(seq, p.data(),
+                            static_cast<uint32_t>(p.size())));
+    end_of.push_back(wal->bytes());
+  }
+  EXPECT_TRUE(wal->Commit());
+  return end_of;
+}
+
+TEST(Wal, AppendCommitReplayRoundTrip) {
+  MemStorage storage;
+  WriteAheadLog wal(&storage);
+  AppendCommitted(&wal, 5);
+
+  Replayed r = ReplayAll(&wal);
+  ASSERT_EQ(r.records.size(), 5u);
+  for (uint64_t seq = 1; seq <= 5; ++seq) {
+    EXPECT_EQ(r.records[seq - 1].first, seq);
+    EXPECT_EQ(r.records[seq - 1].second, PayloadFor(seq));
+  }
+  EXPECT_EQ(r.stats.valid_records, 5u);
+  EXPECT_EQ(r.stats.visited, 5u);
+  EXPECT_EQ(r.stats.last_seq, 5u);
+  EXPECT_EQ(r.stats.truncated_bytes, 0u);
+
+  // The idempotence gate: records at or below after_seq are scanned
+  // (they still count as valid) but not visited.
+  Replayed partial = ReplayAll(&wal, /*after_seq=*/3);
+  ASSERT_EQ(partial.records.size(), 2u);
+  EXPECT_EQ(partial.records[0].first, 4u);
+  EXPECT_EQ(partial.stats.valid_records, 5u);
+  Replayed none = ReplayAll(&wal, /*after_seq=*/5);
+  EXPECT_TRUE(none.records.empty());
+  EXPECT_EQ(none.stats.valid_records, 5u);
+}
+
+TEST(Wal, EmptyLogReplaysNothing) {
+  MemStorage storage;
+  WriteAheadLog wal(&storage);
+  Replayed r = ReplayAll(&wal);
+  EXPECT_TRUE(r.records.empty());
+  EXPECT_EQ(r.stats.valid_records, 0u);
+  EXPECT_EQ(r.stats.truncated_bytes, 0u);
+}
+
+// The satellite's core sweep: truncate a committed log at EVERY byte
+// length (covering in particular every cut within the last record) and
+// demand exact pre-tail recovery plus idempotent re-replay.
+TEST(Wal, TruncationSweepRecoversExactPreTailState) {
+  MemStorage golden;
+  WriteAheadLog golden_wal(&golden);
+  const std::vector<uint64_t> end_of = AppendCommitted(&golden_wal, 4);
+  const std::vector<uint8_t> image = golden.durable_bytes();
+  ASSERT_EQ(image.size(), end_of.back());
+
+  for (uint64_t cut = 0; cut <= image.size(); ++cut) {
+    MemStorage storage;
+    if (cut > 0) {
+      ASSERT_EQ(storage.Write(0, image.data(), cut), IoResult::kOk);
+    }
+    ASSERT_EQ(storage.Sync(), IoResult::kOk);
+
+    // Records wholly within the cut survive; everything else is tail.
+    uint64_t survivors = 0;
+    while (survivors < end_of.size() && end_of[survivors] <= cut) {
+      ++survivors;
+    }
+    const uint64_t keep = survivors == 0 ? 0 : end_of[survivors - 1];
+
+    WriteAheadLog wal(&storage);
+    Replayed r = ReplayAll(&wal);
+    ASSERT_EQ(r.records.size(), survivors) << "cut=" << cut;
+    for (uint64_t i = 0; i < survivors; ++i) {
+      ASSERT_EQ(r.records[i].first, i + 1) << "cut=" << cut;
+      ASSERT_EQ(r.records[i].second, PayloadFor(i + 1)) << "cut=" << cut;
+    }
+    ASSERT_EQ(r.stats.truncated_bytes, cut - keep) << "cut=" << cut;
+    ASSERT_EQ(wal.bytes(), keep) << "cut=" << cut;
+
+    // Idempotent re-replay: same records, nothing more to truncate.
+    Replayed again = ReplayAll(&wal);
+    ASSERT_EQ(again.records.size(), survivors) << "cut=" << cut;
+    ASSERT_EQ(again.stats.truncated_bytes, 0u) << "cut=" << cut;
+    ASSERT_EQ(wal.bytes(), keep) << "cut=" << cut;
+
+    // And the log remains appendable: the next record replays cleanly.
+    const std::vector<uint8_t> next = PayloadFor(survivors + 1);
+    ASSERT_TRUE(wal.Append(survivors + 1, next.data(),
+                           static_cast<uint32_t>(next.size())));
+    ASSERT_TRUE(wal.Commit());
+    Replayed extended = ReplayAll(&wal);
+    ASSERT_EQ(extended.records.size(), survivors + 1) << "cut=" << cut;
+    ASSERT_EQ(extended.records.back().first, survivors + 1);
+  }
+}
+
+// Every single-bit corruption anywhere in the last record — header
+// length, CRC, seq, or payload — costs exactly that record: the CRC (or
+// short-record framing, when the flipped length field overshoots)
+// truncates it, earlier records replay intact, and a re-replay is a
+// no-op.
+TEST(Wal, BitFlipSweepOverLastRecordDropsExactlyThatRecord) {
+  MemStorage golden;
+  WriteAheadLog golden_wal(&golden);
+  const std::vector<uint64_t> end_of = AppendCommitted(&golden_wal, 3);
+  const std::vector<uint8_t> image = golden.durable_bytes();
+  const uint64_t last_begin = end_of[1];
+
+  for (uint64_t byte = last_begin; byte < image.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> corrupt = image;
+      corrupt[byte] = static_cast<uint8_t>(
+          corrupt[byte] ^ (uint8_t{1} << bit));
+      MemStorage storage;
+      ASSERT_EQ(storage.Write(0, corrupt.data(), corrupt.size()),
+                IoResult::kOk);
+      ASSERT_EQ(storage.Sync(), IoResult::kOk);
+
+      WriteAheadLog wal(&storage);
+      Replayed r = ReplayAll(&wal);
+      ASSERT_EQ(r.records.size(), 2u) << "byte=" << byte << " bit=" << bit;
+      ASSERT_EQ(r.records[1].second, PayloadFor(2));
+      ASSERT_EQ(wal.bytes(), last_begin) << "byte=" << byte;
+      Replayed again = ReplayAll(&wal);
+      ASSERT_EQ(again.stats.truncated_bytes, 0u) << "byte=" << byte;
+      ASSERT_EQ(again.records.size(), 2u) << "byte=" << byte;
+    }
+  }
+}
+
+// A torn append (fault-injected prefix landing + reported failure)
+// rolls itself back: the log stays clean for the NEXT append, and
+// nothing of the torn record is ever replayed.
+TEST(Wal, TornAppendRollsBackAndLogStaysAppendable) {
+  MemStorage storage;
+  fault::Injector inj(7);
+  fault::FaultyStorage faulty(&storage, &inj);
+  WriteAheadLog wal(&faulty);
+  AppendCommitted(&wal, 3);
+  const uint64_t clean_bytes = wal.bytes();
+
+  inj.Arm(fault::kTornWriteSite, {.every_nth = 1});
+  const std::vector<uint8_t> p4 = PayloadFor(4);
+  EXPECT_FALSE(wal.Append(4, p4.data(), static_cast<uint32_t>(p4.size())));
+  EXPECT_EQ(faulty.torn_writes(), 1u);
+  EXPECT_EQ(wal.bytes(), clean_bytes);  // rollback removed the fragment
+  inj.DisarmAll();
+
+  // The retried append lands where the torn one briefly lived.
+  ASSERT_TRUE(wal.Append(4, p4.data(), static_cast<uint32_t>(p4.size())));
+  ASSERT_TRUE(wal.Commit());
+  Replayed r = ReplayAll(&wal);
+  ASSERT_EQ(r.records.size(), 4u);
+  EXPECT_EQ(r.records.back().first, 4u);
+  EXPECT_EQ(r.records.back().second, p4);
+  EXPECT_EQ(r.stats.truncated_bytes, 0u);
+}
+
+// A short fsync means NOT committed: the record must not survive a
+// crash that drops the un-synced tail, and the commit-failure rollback
+// keeps the volatile log clean for the retry.
+TEST(Wal, ShortSyncIsNotACommit) {
+  MemStorage storage;
+  fault::Injector inj(8);
+  fault::FaultyStorage faulty(&storage, &inj);
+  WriteAheadLog wal(&faulty);
+  AppendCommitted(&wal, 2);
+
+  inj.Arm(fault::kShortSyncSite, {.every_nth = 1});
+  const std::vector<uint8_t> p3 = PayloadFor(3);
+  ASSERT_TRUE(wal.Append(3, p3.data(), static_cast<uint32_t>(p3.size())));
+  EXPECT_FALSE(wal.Commit());
+  EXPECT_EQ(faulty.short_syncs(), 1u);
+  inj.DisarmAll();
+
+  // Crash with nothing flushed since the last good sync: records 1-2.
+  storage.SimulateCrash(/*flushed_ops=*/0);
+  WriteAheadLog reopened(&storage);
+  Replayed r = ReplayAll(&reopened);
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.stats.last_seq, 2u);
+}
+
+TEST(Wal, ResetEmptiesDurably) {
+  MemStorage storage;
+  WriteAheadLog wal(&storage);
+  AppendCommitted(&wal, 3);
+  ASSERT_TRUE(wal.Reset());
+  EXPECT_EQ(wal.bytes(), 0u);
+  storage.SimulateCrash(/*flushed_ops=*/0);  // reset already synced
+  Replayed r = ReplayAll(&wal);
+  EXPECT_TRUE(r.records.empty());
+  EXPECT_EQ(r.stats.truncated_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace topk

@@ -55,6 +55,15 @@ Checks (see CLAUDE.md conventions):
                writes it, when it becomes immutable). std::atomic
                members are exempt. Suppress a justified bare member
                with `// lint: epoch-ok <reason>`.
+  io           raw file I/O (`open`/`fopen`, `pread`/`pwrite`,
+               `fsync`/`fdatasync`, `ftruncate`, `fread`/`fwrite`/
+               `fclose`, std::filesystem, std::fstream) is banned
+               outside src/em/ — every byte that reaches a disk must
+               flow through ByteStorage / BlockDevice so it stays
+               countable (the I/O counters ARE the experiment),
+               fault-injectable, and crash-testable (DESIGN.md
+               "durability contract"). Suppress a justified use with
+               `// lint: io-ok <reason>`.
 
 A finding prints `path:line: [rule] message`; exit status is the number
 of findings (0 = clean). Suppress any rule on one line with
@@ -66,7 +75,7 @@ import sys
 from pathlib import Path
 
 RULES = ("guard", "namespace", "assert", "random", "mutable", "sleep",
-         "tracer", "function", "epoch")
+         "tracer", "function", "epoch", "io")
 
 RANDOM_RE = re.compile(
     r"(?<![\w:])(rand|srand)\s*\(|std::mt19937|std::random_device"
@@ -77,6 +86,14 @@ THREAD_SAFE_TYPES_RE = re.compile(r"std::(mutex|shared_mutex|atomic)")
 SLEEP_RE = re.compile(r"\bsleep_(for|until)\s*\(")
 TRACER_DEREF_RE = re.compile(r"\b\w*[Tt]racer\w*\s*->")
 FUNCTION_RE = re.compile(r"\bstd::function\s*<")
+# Raw-file-I/O surface: POSIX fd calls, stdio, and the std::filesystem /
+# std::fstream families. The lookbehind (no word char or `.`) admits
+# `::open(` and bare `open(` but not member calls like `is_open(` or
+# identifiers like `reopen(`.
+IO_RE = re.compile(
+    r"std::filesystem|std::[io]?fstream"
+    r"|(?<![\w.])(f?open|fsync|fdatasync|pread|pwrite|ftruncate"
+    r"|fread|fwrite|fclose)\s*\(")
 # Lines inside an epoch-published type that are NOT member declarations
 # needing an `// epoch:` posture: functions/ctors (anything with parens
 # is skipped separately), type aliases, static members, access
@@ -89,6 +106,11 @@ EPOCH_NONMEMBER_RE = re.compile(
 def sleep_sanctioned(path: Path) -> bool:
     """The two homes where a real sleep is part of the contract."""
     return "fault" in path.parts or path.name == "thread_pool.h"
+
+
+def io_sanctioned(path: Path) -> bool:
+    """The one home where raw file I/O is the module's whole job."""
+    return "em" in path.parts
 
 
 def function_banned(path: Path) -> bool:
@@ -199,6 +221,12 @@ def check_file(path: Path, root: Path, findings: list) -> None:
                                "and serve/thread_pool.h; a sleep hides a "
                                "missing sync primitive or wrecks benchmark "
                                "determinism")
+        if not io_sanctioned(path) and IO_RE.search(code):
+            report(i, "io",
+                   "raw file I/O outside src/em/; route bytes through "
+                   "ByteStorage / BlockDevice so they stay countable, "
+                   "fault-injectable, and crash-testable, or annotate "
+                   "`// lint: io-ok <reason>`")
         if function_banned(path) and FUNCTION_RE.search(code):
             report(i, "function",
                    "std::function in src/core/ or src/serve/ may "
