@@ -25,6 +25,7 @@
 #include <cstddef>
 #include <functional>
 #include <limits>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -33,6 +34,8 @@
 #include "common/stats.h"
 #include "core/problem.h"
 #include "core/sink.h"
+#include "parallel/context.h"
+#include "parallel/flat_scan.h"
 
 namespace topk {
 
@@ -64,10 +67,13 @@ class CountingTopK {
   // Scratch-threaded form writing into *out (cleared first): the final
   // fetch pool is borrowed from `scratch`, so a warm arena and a warm
   // *out serve the query with zero heap allocations (the binary search
-  // itself only issues counting probes).
+  // itself only issues counting probes). The counting probes stay
+  // serial (they are the cheap O(Q_cnt log n) head); the final tally
+  // fetch is un-budgeted (n + 1, always degenerate) and runs sharded
+  // when `par` is present.
   void QueryInto(const Predicate& q, size_t k, Scratch* scratch,
-                 std::vector<Element>* out,
-                 QueryStats* stats = nullptr) const {
+                 std::vector<Element>* out, QueryStats* stats = nullptr,
+                 parallel::Context* par = nullptr) const {
     out->clear();
     if (k == 0 || n_ == 0) return;
     constexpr double kNegInf = -std::numeric_limits<double>::infinity();
@@ -87,6 +93,11 @@ class CountingTopK {
     }
     const double tau = lo < weights_desc_.size() ? weights_desc_[lo]
                                                  : kNegInf;
+    if (mirror_.has_value() && parallel::ShouldShard(par, n_, n_ + 1)) {
+      ShardedFetchInto<Problem>(*mirror_, q, tau, k, par, scratch, out,
+                                stats, /*tracer=*/nullptr);
+      return;
+    }
     MonitoredPool<Element> fetched =
         MonitoredQuery(pri_, q, tau, n_ + 1, scratch, stats);
     SelectTopK(&fetched.elements, k);
@@ -99,10 +110,16 @@ class CountingTopK {
     for (const Element& e : *data) weights_desc_.push_back(e.weight);
     std::sort(weights_desc_.begin(), weights_desc_.end(),
               std::greater<double>());
+    // SoA mirror for the sharded tally fetch (see parallel/flat_scan.h);
+    // engaged iff the set is big enough to ever shard. mirror_ precedes
+    // pri_ in declaration order, so it is alive while this initializer
+    // for pri_ runs.
+    if (data->size() >= parallel::kMinShardedN) mirror_.emplace(*data);
     return std::move(*data);
   }
 
   std::vector<double> weights_desc_;
+  std::optional<parallel::FlatMirror<Element>> mirror_;
   Counter counter_;
   Pri pri_;
   size_t n_;

@@ -1,0 +1,47 @@
+// Per-serving-worker handle for intra-query parallelism.
+//
+// A Context bundles the WorkerPool a query may shard its dominant loop
+// across. The engine owns one Context per request worker (so
+// num_threads x intra_query_workers threads exist in total, clamped
+// against the hardware — see serve::QueryEngine::Options), and threads
+// it through QueryInto as a nullable trailing parameter exactly like
+// Scratch / QueryStats / Tracer: null (or shards() == 1) means "serial
+// path", and every reduction must produce bit-identical results either
+// way.
+//
+// Scratch ownership under sharding (see DESIGN.md "intra-query
+// parallelism contract"): the Context deliberately owns NO Scratch.
+// All shard-local pools are borrowed from the QUERY's own Scratch by
+// the calling thread before the parallel region; each helper gets
+// exactly one pre-borrowed pool slot and never touches Scratch
+// bookkeeping, so the arena stays single-owner and the borrows recycle
+// (warm = zero allocations) through the same arena Warmup() primes.
+//
+// Single-owner like Scratch: one Context serves one query at a time.
+
+#ifndef TOPK_PARALLEL_CONTEXT_H_
+#define TOPK_PARALLEL_CONTEXT_H_
+
+#include <cstddef>
+
+#include "parallel/worker_pool.h"
+
+namespace topk::parallel {
+
+class Context {
+ public:
+  explicit Context(size_t shards) : pool_(shards) {}
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  size_t shards() const { return pool_.shards(); }
+  WorkerPool& pool() { return pool_; }
+
+ private:
+  WorkerPool pool_;
+};
+
+}  // namespace topk::parallel
+
+#endif  // TOPK_PARALLEL_CONTEXT_H_

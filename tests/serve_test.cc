@@ -133,6 +133,54 @@ TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
   }
 }
 
+// Property: merging an empty histogram — default-constructed or freshly
+// Reset() (whose min/max sit at the UINT64_MAX/0 sentinels) — is an
+// exact no-op in either direction. The sentinels must never clobber the
+// exactly tracked min/max nor leak into the percentile clamps; this is
+// the engine's per-batch tally recycling (Reset then Merge) in
+// miniature.
+TEST(LatencyHistogram, MergeWithEmptyOrResetIsANoOp) {
+  Rng rng(33);
+  const double kPs[] = {0.0, 1.0, 25.0, 50.0, 75.0, 99.0, 100.0};
+  for (int trial = 0; trial < 50; ++trial) {
+    LatencyHistogram h;
+    const size_t n = 1 + rng.Below(200);
+    for (size_t i = 0; i < n; ++i) {
+      // Log-uniform spread so sparse buckets and extremes occur.
+      h.Record(rng.Below(uint64_t{1} << (1 + rng.Below(24))));
+    }
+    const LatencyHistogram before = h;
+
+    LatencyHistogram empty;  // never recorded into
+    LatencyHistogram reset;  // recorded into, then wiped
+    for (int i = 0; i < 5; ++i) reset.Record(rng.Below(1u << 20));
+    reset.Reset();
+
+    h.Merge(empty);
+    h.Merge(reset);
+    EXPECT_EQ(h.count(), before.count());
+    EXPECT_EQ(h.min_ns(), before.min_ns());
+    EXPECT_EQ(h.max_ns(), before.max_ns());
+    EXPECT_DOUBLE_EQ(h.mean_ns(), before.mean_ns());
+    for (double p : kPs) {
+      EXPECT_DOUBLE_EQ(h.PercentileNs(p), before.PercentileNs(p));
+    }
+
+    // Other direction: the sentinels of the empty ACCUMULATOR must be
+    // overwritten by the merged-in data, not min/max'd into it.
+    for (LatencyHistogram* acc : {&empty, &reset}) {
+      acc->Merge(before);
+      EXPECT_EQ(acc->count(), before.count());
+      EXPECT_EQ(acc->min_ns(), before.min_ns());
+      EXPECT_EQ(acc->max_ns(), before.max_ns());
+      EXPECT_DOUBLE_EQ(acc->mean_ns(), before.mean_ns());
+      for (double p : kPs) {
+        EXPECT_DOUBLE_EQ(acc->PercentileNs(p), before.PercentileNs(p));
+      }
+    }
+  }
+}
+
 // --- Metrics / JSON export ----------------------------------------------
 
 TEST(Metrics, JsonContainsEveryQueryStatsField) {

@@ -1,0 +1,12 @@
+// Layering sabotage: parallel is vocabulary below core and serve (its
+// only declared dependency is common), so reaching up into serve is an
+// upward edge; the common include next to it must stay clean.
+
+#include "common/ok.h"
+#include "serve/widget.h"
+
+namespace topk::parallel {
+
+inline int SabEscalator() { return 0; }
+
+}  // namespace topk::parallel

@@ -10,8 +10,10 @@
 # deliberate violation per facet of each rule, plus neighbouring clean
 # and suppressed code that must NOT fire:
 #   layering       an upward include (common -> core), an undeclared
-#                  edge (core -> serve), an unresolvable include, and a
-#                  two-file include cycle (em/cycle_a <-> em/cycle_b)
+#                  edge (core -> serve), an upward edge out of the
+#                  intra-query parallelism module (parallel -> serve),
+#                  an unresolvable include, and a two-file include
+#                  cycle (em/cycle_a <-> em/cycle_b)
 #   charge-site    `++` and `+=` on issuance counters outside
 #                  core/sink.h (a read and a suppressed mutation stay
 #                  clean)
@@ -26,8 +28,8 @@
 #                  wrapper hiding a posture-marked substrate without an
 #                  alias export (exported and chained wrappers stay
 #                  clean)
-# Exactly eleven findings total — a twelfth means a suppression or an
-# approved pattern regressed; fewer means a rule stopped firing.
+# Exactly twelve findings total — a thirteenth means a suppression or
+# an approved pattern regressed; fewer means a rule stopped firing.
 #
 # The final block is the acceptance demonstration for the per-class
 # posture rule: lint.py (file-scope `mutable` check) must PASS the
@@ -55,6 +57,7 @@ foreach(finding
         "uses_core\\.h:4: \\[layering\\].*'common' may not include 'core'"
         "upward\\.h:6: \\[layering\\].*does not resolve"
         "upward\\.h:7: \\[layering\\].*'core' may not include 'serve'"
+        "escalator\\.h:6: \\[layering\\].*'parallel' may not include 'serve'"
         "cycle_b\\.h:3: \\[layering\\] include cycle: em/cycle_a\\.h")
   if(NOT out MATCHES "${finding}")
     message(FATAL_ERROR "missing expected [layering] finding matching "
@@ -95,8 +98,8 @@ if(NOT out MATCHES
                       "stderr: ${err}")
 endif()
 
-if(NOT err MATCHES "11 finding")
-  message(FATAL_ERROR "expected exactly 11 findings (a suppression or "
+if(NOT err MATCHES "12 finding")
+  message(FATAL_ERROR "expected exactly 12 findings (a suppression or "
                       "approved pattern regressed, or a rule stopped "
                       "firing)\nstdout: ${out}\nstderr: ${err}")
 endif()
@@ -119,5 +122,5 @@ if(NOT lint_rc EQUAL 0)
 endif()
 
 message(STATUS "analyze.py: layering/charge-site/hotpath-alloc/posture "
-               "self-test passed (11 findings; lint-vs-analyze posture "
+               "self-test passed (12 findings; lint-vs-analyze posture "
                "hole demonstrated)")

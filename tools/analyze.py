@@ -78,7 +78,8 @@ RULES = ("layering", "hotpath-alloc", "charge-site", "posture")
 MODULE_DEPS = {
     "common":    set(),
     "trace":     {"common"},
-    "core":      {"common", "trace"},
+    "parallel":  {"common"},
+    "core":      {"common", "trace", "parallel"},
     "audit":     {"common", "core"},
     "dominance": {"common", "core"},
     "range1d":   {"common", "core"},
@@ -89,7 +90,7 @@ MODULE_DEPS = {
     "enclosure": {"common", "core", "interval"},
     "em":        {"common", "core", "trace", "range1d"},
     "fault":     {"common", "em"},
-    "serve":     {"common", "core", "trace"},
+    "serve":     {"common", "core", "trace", "parallel"},
 }
 
 # Charge-site: the only files allowed to mutate the issuance counters.
@@ -326,7 +327,7 @@ SCRATCH_NAME_RE = re.compile(
     r"<(?:[^<>]|<[^<>]*>)*>\s*>?\s*([A-Za-z_]\w*)\s*[;={(]")
 VEC_REF_RE = re.compile(
     r"\bstd::vector\s*<(?:[^<>]|<[^<>]*>)*>\s*&\s*([A-Za-z_]\w*)"
-    r"\s*=\s*[\w.>\-]*\.\s*vec\s*\(\)")
+    r"\s*=\s*[\w.>\-\[\]()* ]*\.\s*vec\s*\(\)")
 PARAM_OUT_RE = re.compile(
     r"\b(?:std::vector|ScratchVec)\s*<(?:[^<>]|<[^<>]*>)*>\s*([*&])\s*"
     r"([A-Za-z_]\w*)")
