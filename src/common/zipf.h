@@ -1,0 +1,57 @@
+// Deterministic Zipf-distributed rank sampler for skewed workloads.
+//
+// Serving traffic is not uniform: a few hot queries dominate (the
+// whole reason the federation layer carries a result cache). This
+// sampler draws ranks r in [0, n) with P(r) proportional to
+// 1 / (r+1)^s — rank 0 is the hottest — via a precomputed CDF and a
+// binary search per draw. s = 0 degenerates to uniform; s around 1 is
+// the classic web-traffic shape. All randomness flows through
+// topk::Rng (explicit seeds), so benchmark workloads built on this are
+// reproducible bit-for-bit.
+
+#ifndef TOPK_COMMON_ZIPF_H_
+#define TOPK_COMMON_ZIPF_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace topk {
+
+class ZipfDistribution {
+ public:
+  // n ranks, skew s >= 0. Construction is O(n); draws are O(log n).
+  ZipfDistribution(size_t n, double s) : cdf_(n) {
+    TOPK_CHECK(n >= 1);
+    TOPK_CHECK(s >= 0.0);
+    double acc = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_[r] = acc;
+    }
+    const double total = cdf_.back();
+    for (double& c : cdf_) c /= total;
+    cdf_.back() = 1.0;  // guard against rounding shaving the tail
+  }
+
+  size_t n() const { return cdf_.size(); }
+
+  // Next rank in [0, n); rank 0 is the most frequent.
+  size_t Next(Rng* rng) const {
+    const double u = rng->NextDouble();
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    const size_t r = static_cast<size_t>(it - cdf_.begin());
+    return r < cdf_.size() ? r : cdf_.size() - 1;
+  }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r); cdf_[n-1] = 1
+};
+
+}  // namespace topk
+
+#endif  // TOPK_COMMON_ZIPF_H_

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <new>
 #include <utility>
 #include <vector>
@@ -25,6 +26,8 @@
 #include "core/core_set_topk.h"
 #include "core/counting_topk.h"
 #include "core/sampled_topk.h"
+#include "federate/coordinator.h"
+#include "federate/shard_map.h"
 #include "range1d/count_tree.h"
 #include "range1d/point1d.h"
 #include "range1d/pst.h"
@@ -356,6 +359,88 @@ TEST(AllocRegression, EpochPinnedPathZeroSteadyStateAllocs) {
               test::IdsOf(test::BruteTopK<Range1DProblem>(
                   data, requests[i].predicate, requests[i].k)))
         << "request " << i;
+  }
+}
+
+// Federated steady state: once the coordinator's per-shard request and
+// result slots, merge pool, and the caller's out buffer are warm, a
+// full all-shards-healthy fan-out (scatter + TA rounds + merge +
+// k-select) allocates nothing — and so does the cache-hit path, which
+// never even fans out. Distinct queries with distinct ks keep both
+// paths honest.
+TEST(AllocRegression, FederatedFanoutAndCacheHitZeroSteadyStateAllocs) {
+  TOPK_SKIP_UNDER_SANITIZERS();
+  const std::vector<Point1D> data = Data();
+  auto parts = federate::PartitionById(data, 3);
+  std::vector<Thm2> structures;
+  structures.reserve(parts.size());
+  for (auto& p : parts) structures.emplace_back(std::move(p));
+  std::vector<std::unique_ptr<serve::QueryEngine<Thm2>>> engines;
+  std::vector<federate::Coordinator<Thm2>::Shard> shards;
+  for (Thm2& s : structures) {
+    engines.push_back(std::make_unique<serve::QueryEngine<Thm2>>(
+        &s, serve::QueryEngine<Thm2>::Options{}));
+    shards.push_back({engines.back().get(), nullptr});
+  }
+  // Direct-mapped: size the cache so the 12 distinct keys land in
+  // distinct slots (collisions evict, which would turn repeats into
+  // deterministic miss+refill cycles and halve the hit tally).
+  federate::Coordinator<Thm2> coord(std::move(shards),
+                                    {.cache_entries = 1024});
+
+  Rng rng(777);
+  std::vector<Range1D> queries;
+  std::vector<size_t> ks;
+  for (size_t i = 0; i < 12; ++i) {
+    double lo = rng.NextDouble(), hi = rng.NextDouble();
+    if (lo > hi) std::swap(lo, hi);
+    queries.push_back({lo, hi});
+    ks.push_back(1 + i * 9 % 70);
+  }
+  std::vector<Point1D> out;
+
+  // Cache-hit path: warm fills, then every repeat is a hit.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(coord.QueryInto(queries[i], ks[i], &out),
+              serve::ResultStatus::kOk);
+  }
+  uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int it = 0; it < 5; ++it) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      coord.QueryInto(queries[i], ks[i], &out);
+    }
+  }
+  uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(allocs, 0u) << "federated cache-hit path allocated";
+  EXPECT_GE(coord.stats().cache_hits, 5 * queries.size());
+
+  // Full fan-out path: cache off, warm one sweep, then measure.
+  std::vector<federate::Coordinator<Thm2>::Shard> shards2;
+  for (auto& e : engines) shards2.push_back({e.get(), nullptr});
+  federate::Coordinator<Thm2> nocache(std::move(shards2), {});
+  for (int warm = 0; warm < 3; ++warm) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(nocache.QueryInto(queries[i], ks[i], &out),
+                serve::ResultStatus::kOk);
+    }
+  }
+  before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int it = 0; it < 5; ++it) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      nocache.QueryInto(queries[i], ks[i], &out);
+    }
+  }
+  allocs = g_alloc_count.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(allocs, 0u) << "federated fan-out path allocated";
+  EXPECT_EQ(nocache.stats().cache_hits, 0u);
+
+  // Both paths exact against brute force.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    coord.QueryInto(queries[i], ks[i], &out);
+    EXPECT_EQ(test::IdsOf(out),
+              test::IdsOf(test::BruteTopK<Range1DProblem>(
+                  data, queries[i], ks[i])))
+        << "query " << i;
   }
 }
 

@@ -1,0 +1,13 @@
+// Clean federate-module header (federate sits on top of serve and may
+// include it); the sabotage is the reverse edge in
+// serve/uses_federate.h.
+
+#include "serve/widget.h"
+
+namespace topk::federate {
+
+struct SabFed {
+  serve::SabWidget w;
+};
+
+}  // namespace topk::federate

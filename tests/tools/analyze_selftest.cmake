@@ -12,8 +12,9 @@
 #   layering       an upward include (common -> core), an undeclared
 #                  edge (core -> serve), an upward edge out of the
 #                  intra-query parallelism module (parallel -> serve),
-#                  an unresolvable include, and a two-file include
-#                  cycle (em/cycle_a <-> em/cycle_b)
+#                  an upward edge into the federation layer
+#                  (serve -> federate), an unresolvable include, and a
+#                  two-file include cycle (em/cycle_a <-> em/cycle_b)
 #   charge-site    `++` and `+=` on issuance counters outside
 #                  core/sink.h (a read and a suppressed mutation stay
 #                  clean)
@@ -28,8 +29,8 @@
 #                  wrapper hiding a posture-marked substrate without an
 #                  alias export (exported and chained wrappers stay
 #                  clean)
-# Exactly twelve findings total — a thirteenth means a suppression or
-# an approved pattern regressed; fewer means a rule stopped firing.
+# Exactly thirteen findings total — a fourteenth means a suppression
+# or an approved pattern regressed; fewer means a rule stopped firing.
 #
 # The final block is the acceptance demonstration for the per-class
 # posture rule: lint.py (file-scope `mutable` check) must PASS the
@@ -58,6 +59,7 @@ foreach(finding
         "upward\\.h:6: \\[layering\\].*does not resolve"
         "upward\\.h:7: \\[layering\\].*'core' may not include 'serve'"
         "escalator\\.h:6: \\[layering\\].*'parallel' may not include 'serve'"
+        "uses_federate\\.h:5: \\[layering\\].*'serve' may not include 'federate'"
         "cycle_b\\.h:3: \\[layering\\] include cycle: em/cycle_a\\.h")
   if(NOT out MATCHES "${finding}")
     message(FATAL_ERROR "missing expected [layering] finding matching "
@@ -98,8 +100,8 @@ if(NOT out MATCHES
                       "stderr: ${err}")
 endif()
 
-if(NOT err MATCHES "12 finding")
-  message(FATAL_ERROR "expected exactly 12 findings (a suppression or "
+if(NOT err MATCHES "13 finding")
+  message(FATAL_ERROR "expected exactly 13 findings (a suppression or "
                       "approved pattern regressed, or a rule stopped "
                       "firing)\nstdout: ${out}\nstderr: ${err}")
 endif()
@@ -122,5 +124,5 @@ if(NOT lint_rc EQUAL 0)
 endif()
 
 message(STATUS "analyze.py: layering/charge-site/hotpath-alloc/posture "
-               "self-test passed (12 findings; lint-vs-analyze posture "
+               "self-test passed (13 findings; lint-vs-analyze posture "
                "hole demonstrated)")

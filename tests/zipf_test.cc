@@ -1,0 +1,78 @@
+// ZipfDistribution sanity: deterministic under a fixed seed, exact
+// degenerate cases, and empirical frequencies matching the 1/(r+1)^s
+// law closely enough to catch an off-by-one in the CDF or a broken
+// normalization.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace topk {
+namespace {
+
+TEST(Zipf, SingleRankAlwaysZero) {
+  ZipfDistribution zipf(1, 1.1);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Next(&rng), 0u);
+}
+
+TEST(Zipf, DeterministicUnderSeed) {
+  ZipfDistribution zipf(1000, 1.1);
+  Rng a(42), b(42);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(zipf.Next(&a), zipf.Next(&b));
+}
+
+TEST(Zipf, DrawsStayInRange) {
+  ZipfDistribution zipf(37, 0.7);
+  Rng rng(8);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(zipf.Next(&rng), 37u);
+}
+
+// s = 0 is uniform: every rank within 20% of n_draws / n.
+TEST(Zipf, ZeroSkewIsUniform) {
+  const size_t kRanks = 16;
+  const size_t kDraws = 160000;
+  ZipfDistribution zipf(kRanks, 0.0);
+  Rng rng(11);
+  std::vector<size_t> counts(kRanks, 0);
+  for (size_t i = 0; i < kDraws; ++i) ++counts[zipf.Next(&rng)];
+  const double expect = static_cast<double>(kDraws) / kRanks;
+  for (size_t r = 0; r < kRanks; ++r) {
+    EXPECT_GT(static_cast<double>(counts[r]), 0.8 * expect) << "rank " << r;
+    EXPECT_LT(static_cast<double>(counts[r]), 1.2 * expect) << "rank " << r;
+  }
+}
+
+// The empirical rank-frequency ratios follow ((r+2)/(r+1))^s: the law
+// itself, not just "rank 0 is biggest".
+TEST(Zipf, FrequenciesFollowPowerLaw) {
+  const size_t kRanks = 64;
+  const size_t kDraws = 400000;
+  const double s = 1.1;
+  ZipfDistribution zipf(kRanks, s);
+  Rng rng(12);
+  std::vector<size_t> counts(kRanks, 0);
+  for (size_t i = 0; i < kDraws; ++i) ++counts[zipf.Next(&rng)];
+  // Head ranks have tight samples; check the first 8 adjacent ratios.
+  for (size_t r = 0; r < 8; ++r) {
+    const double got = static_cast<double>(counts[r]) /
+                       static_cast<double>(counts[r + 1]);
+    const double want = std::pow(
+        static_cast<double>(r + 2) / static_cast<double>(r + 1), s);
+    EXPECT_GT(got, 0.9 * want) << "rank " << r;
+    EXPECT_LT(got, 1.1 * want) << "rank " << r;
+  }
+  // Mass ordering is monotone down the whole head of the ranking.
+  for (size_t r = 0; r + 1 < 16; ++r) {
+    EXPECT_GE(counts[r], counts[r + 1]) << "rank " << r;
+  }
+}
+
+}  // namespace
+}  // namespace topk

@@ -91,6 +91,7 @@ MODULE_DEPS = {
     "em":        {"common", "core", "trace", "range1d"},
     "fault":     {"common", "em"},
     "serve":     {"common", "core", "trace", "parallel"},
+    "federate":  {"common", "core", "parallel", "serve"},
 }
 
 # Charge-site: the only files allowed to mutate the issuance counters.

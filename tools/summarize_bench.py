@@ -145,6 +145,7 @@ def main() -> int:
                 "bench_ablation", "bench_build", "bench_selectivity",
                 "bench_serve", "bench_chaos", "bench_trace", "bench_perf",
                 "bench_dynamic", "bench_persist", "bench_parallel",
+                "bench_federate",
             }
             print(f"\n## {section}")
             continue
